@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from the benchmark reports.
+
+Run after ``pytest benchmarks/ --benchmark-only`` so that
+``benchmarks/reports/*.txt`` is fresh:
+
+    python benchmarks/make_experiments_md.py
+"""
+
+import os
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPORTS = os.path.join(HERE, "reports")
+TARGET = os.path.join(HERE, os.pardir, "EXPERIMENTS.md")
+
+COMMENTARY = {
+    "table2": """**Match: good.** The contrast that justifies Q5 reproduces robustly
+(intra 0.72 vs inter 0.62, aggregated over two topologies; paper 0.90
+vs 0.57), with compressed magnitudes: our synthetic core is a larger
+share of the sampled links than in the real Internet, and core
+interconnects are the least symmetric population. The mechanism is the
+paper's: edge access chains are symmetric, multihomed edges and
+transit interconnects diverge.""",
+    "table3": """**Match: good.** All three orderings reproduce: revtr 2.0 gives
+correctness *and* completeness; RIPE-Atlas-style traceroutes are
+correct but cover few ASes; forward+assume-symmetry covers everything
+but ~1/3 of its links are wrong. Our Atlas completeness (0.18 vs 0.06)
+is higher because even 6% probe density covers a larger share of a
+171-AS topology than of the 72k-AS Internet; our revtr completeness
+(0.72 vs 0.55) likewise benefits from the smaller transit core. The
+extra `verified` column is something the deployed system cannot
+compute: ground-truth link verification (deviations from 1.0 are
+IP-to-AS mapping noise, not wrong paths).""",
+    "table4": """**Match: directionally strong, factor sharper.** The ladder reproduces:
+ingress-based VP selection is the single largest saving (spoofed RR
+collapses ~20x), the cache and dropping TS remove the rest. Our
+revtr 2.0 sends ~5% of revtr 1.0's probes where the paper reports 26% —
+sharper because our ingress directory covers virtually every prefix
+(fewer, cleaner prefixes than the real Internet) and the cache hits more
+often (destinations share fewer distinct reverse paths at this scale).""",
+    "table5": """**Match: good.** The heuristic ladder is monotone and converges near
+optimal, like the paper's 0.65 -> 0.70 -> 0.71 vs 0.72. Our absolute
+level reflects the simulator's RR-reachability calibration (~72% of
+prefixes have a VP in range).""",
+    "table6": """**Match: excellent.** Ping responsiveness (0.76/0.68 vs paper
+0.77/0.73), RR responsiveness (0.60/0.59 vs 0.58/0.57), and reachability
+within 8 hops (0.33/0.41 vs 0.36/0.36) all land close, with
+responsiveness stable across epochs as the paper found.""",
+    "table7": """**Match: good.** The top of the ranking is transit networks, as in the
+paper's all-transit top-10. Cone sizes correlate with prevalence
+(see fig8b).""",
+    "fig5a": """**Match: good at AS level; router level sits at the paper's optimistic
+bound.** revtr 2.0's AS paths are correct (no wrong AS) for 100% of
+complete measurements vs 98% for revtr 1.0 (whose interdomain
+symmetry assumptions inject wrong hops), reproducing the paper's
+ordering (92.3% vs 81.8% exact; 98.3% correct among unflagged).
+Our exact-match rates are depressed symmetrically for both systems by
+direct-traceroute artifacts (the traceroute itself misses single-router
+transits whose ingress is numbered from the customer's space) — the
+paper's discrepancy case (4). Router-level medians (~0.85) sit at/above
+the paper's alias-corrected optimistic band (0.68) because the simulator
+has near-complete alias knowledge; the resolved-vs-optimistic gap
+structure is preserved.""",
+    "fig5b": """**Match: good shape.** revtr 1.0 completes 100% (it always assumes
+symmetry); revtr 2.0 trades coverage for accuracy (0.56 at benchmark
+scale vs the paper's 0.78 — our evaluation topology has more
+destinations out of record-route range). Timestamp adds only ~3pp even
+with ground-truth adjacencies, supporting the paper's decision to drop
+it (paper: +0.1pp/+1.1pp).""",
+    "fig5c": """**Match: good shape, larger factor.** The latency ladder reproduces:
+the ingress technique removes most 10-second spoofed batches
+(median 47s -> 10s), and the cache + atlas make the median revtr 2.0
+nearly instant. The paper's 78s -> 6s factor (~13x) is exceeded (~800x)
+because our simulator has no orchestration overhead and higher cache
+hit rates; the p90 values (11s ~ one spoofed batch) show the same
+batch-timeout-dominated regime as the paper.""",
+    "fig6a": """**Match: excellent.** Batches of 3 capture almost everything batches
+of 5 do, and sit within a few percent of optimal — the paper's exact
+argument for batch size 3.""",
+    "fig6b": """**Match: excellent.** Ingress selection is near-optimal (2.28 vs 2.33
+mean reverse hops) and well above revtr 1.0's set cover (1.61), the
+paper's central Fig 6b finding (2.0 ~ optimal >> 1.0).""",
+    "fig6c": """**Match: excellent.** revtr 2.0 tries ~2 spoofers per prefix and
+exceeds 6 tried for only 1% of prefixes, vs 35% for revtr 1.0 and
+Global — the paper's <5% vs 28% contrast, scaled to our 12-VP fleet.""",
+    "fig7_te": """**Match: the full case-study dynamics reproduce — including the
+plot twist.** Poisoning the chosen transit on the majority site's
+announcement moves all of its clients off that site. The first
+no-export community barely moves the top entry provider's share
+because the blocked feeder re-routes through another neighbour of the
+same provider — exactly the paper's Fusix-through-True episode — and a
+second no-export round completes the rebalancing (top provider
+55% -> 10%; paper: 91.2% -> 60.5%).""",
+    "fig8a": """**Match: excellent.** 56% of paths are symmetric at AS granularity
+under the paper's membership metric (paper: 53%). The router-level
+shared fraction (~0.6 median) lies near the paper's alias-corrected
+upper bound (~0.61), as expected with the simulator's near-complete
+alias knowledge.""",
+    "fig8b": """**Match: good.** Large-cone transits dominate asymmetry involvement;
+prevalence grows with cone size, with the paper's tier-1-heavy top
+ranks.""",
+    "fig9a": """**Match: good shape.** Strong diminishing returns with atlas size and
+random selection within ~90% of the greedy oracle — the paper's
+justification for 1000 random traceroutes. Absolute levels (~0.25 vs
+the paper's ~0.50) are lower because our atlas VP pool is ~60 probes,
+not 10,000, so path-tree overlap is thinner.""",
+    "fig9b": """**Match: good.** The Random++ replacement policy converges within a
+few daily iterations and reaches the greedy-oracle reference, as in
+the paper's five-iteration convergence.""",
+    "fig9c": """**Match: good.** Savings are nearly flat in the number of reverse
+traceroutes, supporting the paper's conjecture that the atlas scales
+to millions of measurements.""",
+    "fig9d": """**Match: good shape.** Staleness stays a small, slowly accumulating
+minority over the virtual day (1.8% vs the paper's 0.7%); our absolute
+rate is higher because the atlas is ~50x smaller, so each churned
+traceroute weighs proportionally more.""",
+    "fig11": """**Match: excellent.** The 2020 distribution strictly dominates 2016
+at every hop count, the within-4 share roughly doubles (16% -> 27%;
+paper 16% -> 39%), and the "2020 with 2016 VPs" control sits between
+the two — reproducing the paper's flattening-vs-fleet decomposition.""",
+    "fig12": """**Match: excellent.** Excluding assumption-bearing measurements moves
+the symmetry estimate by only a few points, as in the paper —
+intradomain symmetry assumptions are benign.""",
+    "fig13": """**Match: excellent.** Symmetric paths are shorter than asymmetric
+ones on average, the paper's Fig 13 finding.""",
+    "fig14": """**Match: excellent.** P(hop on reverse path) is ~1.0 at the endpoints
+and dips mid-path for every path length, reproducing the paper's
+mid-path concentration of asymmetry.""",
+    "appx_e": """**Match: good.** Violations of destination-based routing are rare and
+AS-affecting ones rarer (0.5% vs the paper's 1.3%), confirming
+the technique's core assumption holds in the regime that matters for
+AS-level accuracy. (The configured router-level violation rate is the
+paper's 6.6%; the measured per-tuple rate is lower because violating
+routers need equal-cost alternatives on the probed path to express the
+violation.)""",
+    "spoof_gain": """**Match: excellent.** Spoofing raises reverse-hop coverage from 40%
+to 74% of pairs, a 1.8x gain against the paper's 32% -> 63% (~2.0x) —
+the Insight 1.3 headline that justifies the whole spoofed-probe
+architecture.""",
+    "per_source": """**Match: good shape.** Every source covers a majority of the AS-level
+topology and the fleet's union exceeds any single source; as with
+Table 3's completeness, absolute fractions run higher than the paper's
+because a 171-AS topology has proportionally more transit coverage
+than the 72k-AS Internet.""",
+    "throughput": """**Match: directionally strong.** revtr 2.0 sustains an order of
+magnitude more measurements per probe budget than revtr 1.0 (the
+paper's 43x) and, scaled to a 146-site fleet, clears the Section 3
+goal of 13.1M measurements/day with room to spare. Our absolute
+probes-per-revtr is lower than the paper's (caching bites harder at
+this scale), so the projection overshoots the paper's 15M/day.""",
+    "ablation_atlas": """**Ablation (Q1).** A bigger atlas monotonically supplies more of each
+reverse path and reduces online probing, with clear diminishing
+returns — the paper's argument for capping the atlas at 1000 random
+traceroutes.""",
+    "ablation_rr_atlas": """**Ablation (Q2).** The RR atlas doubles the share of measurements
+completed through an intersection and saves ~5.7% of online probes —
+the paper credits it with 5.5%. A rare near-exact quantitative match,
+because the mechanism (egress-alias registration) transfers directly
+to the simulator.""",
+}
+
+TITLES = {
+    "table2": "Table 2 — symmetry of penultimate traceroute hops (§4.4)",
+    "table3": "Table 3 — reverse AS graph correctness & completeness (§5.1)",
+    "table4": "Table 4 — probe counts across the component ladder (§5.2.4)",
+    "table5": "Table 5 — VP-in-range fraction per technique (§5.3)",
+    "table6": "Table 6 — RR responsiveness per epoch (Appendix F)",
+    "table7": "Table 7 — ASes most involved in asymmetry (§6.2)",
+    "fig5a": "Figure 5a — accuracy vs direct traceroutes (§5.2.2)",
+    "fig5b": "Figure 5b — coverage and TS ablations (§5.2.3, Appendix D.1)",
+    "fig5c": "Figure 5c — per-measurement latency (§5.2.4)",
+    "fig6a": "Figure 6a — reverse hops vs batch size (§5.3)",
+    "fig6b": "Figure 6b — reverse hops per selection technique (§5.3)",
+    "fig6c": "Figure 6c — spoofers tried per prefix (§5.3)",
+    "fig7_te": "Figure 7 — traffic-engineering case study (§6.1)",
+    "fig8a": "Figure 8a — Internet path asymmetry (§6.2)",
+    "fig8b": "Figure 8b — asymmetry vs customer cone (§6.2)",
+    "fig9a": "Figure 9a — atlas savings vs size (Appendix D.2.1)",
+    "fig9b": "Figure 9b — Random++ convergence (Appendix D.2.1)",
+    "fig9c": "Figure 9c — savings vs number of revtrs (Appendix D.2.1)",
+    "fig9d": "Figure 9d — staleness over a day (Appendix D.2.2)",
+    "fig11": "Figure 11 — RR distance from the closest VP (Appendix F)",
+    "fig12": "Figure 12 — symmetry without assumptions (Appendix G.1)",
+    "fig13": "Figure 13 — path length vs symmetry (Appendix G.2)",
+    "fig14": "Figure 14 — positional symmetry profile (Appendix G.2)",
+    "appx_e": "Appendix E — destination-based routing violations",
+    "throughput": "Throughput projection (§5.2.4, §3 goals)",
+    "ablation_atlas": "Ablation — atlas size (design question Q1)",
+    "ablation_rr_atlas": "Ablation — the RR atlas (design question Q2)",
+    "spoof_gain": "Insight 1.3 — coverage with and without spoofing (Appendix F)",
+    "per_source": "§5.1 — per-source completeness",
+}
+
+ORDER = [
+    "table2", "table3", "table4", "fig5a", "fig5b", "fig5c", "table5",
+    "fig6a", "fig6b", "fig6c", "table6", "fig11", "fig7_te", "fig8a",
+    "fig8b", "table7", "fig12", "fig13", "fig14", "fig9a", "fig9b",
+    "fig9c", "fig9d", "appx_e", "spoof_gain", "per_source",
+    "throughput", "ablation_atlas", "ablation_rr_atlas",
+]
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every table and figure of *Internet Scale Reverse Traceroute*
+(IMC 2022), regenerated on the simulator by
+`pytest benchmarks/ --benchmark-only` (reports also land in
+`benchmarks/reports/`). Absolute magnitudes depend on the synthetic
+topology's scale (171 ASes, 12 vantage-point sites, vs the Internet's
+72k ASes and 146 M-Lab sites); the reproduction targets the paper's
+*shape*: who wins, by roughly what factor, where the crossovers fall.
+Each section below embeds the measured report from the benchmark run
+recorded in `bench_output.txt` and comments on the fidelity.
+
+Reading guide: `paper` columns inside the reports carry the paper's
+values for direct comparison.
+"""
+
+FOOTER = """## Known fidelity gaps (and why they are acceptable)
+
+* **Scale factors.** The synthetic Internet has ~500x fewer ASes and
+  ~12x fewer vantage points; quantities that depend on population size
+  (atlas savings absolute level, Atlas-technique completeness, staleness
+  fraction) shift accordingly while preserving ordering and shape.
+* **Router-level accuracy/symmetry.** The simulator's alias knowledge is
+  near-complete, so router-level match rates sit at the paper's
+  *optimistic* (alias-corrected) bound rather than its raw measured
+  values, which are dominated by real-world alias-data gaps.
+* **Latency factor.** revtr 2.0's median latency improves by more than
+  the paper's 13x because the simulator has no orchestration or API
+  overhead; the mechanism (10-second spoofed-batch timeouts eliminated
+  by ingress-based VP selection) is identical and visible at p90.
+* **Probe-reduction factor.** revtr 2.0 sends ~5% of revtr 1.0's probes
+  vs the paper's 26% — our ingress directory covers virtually every
+  prefix of the (cleaner) synthetic topology.
+"""
+
+
+def main() -> None:
+    sections = [HEADER]
+    for key in ORDER:
+        path = os.path.join(REPORTS, f"{key}.txt")
+        if not os.path.exists(path):
+            continue
+        with open(path) as handle:
+            body = handle.read().rstrip()
+        sections.append(f"## {TITLES[key]}\n")
+        sections.append("```text\n" + body + "\n```\n")
+        sections.append(COMMENTARY[key] + "\n")
+    sections.append(FOOTER)
+    with open(TARGET, "w") as handle:
+        handle.write("\n".join(sections))
+    print(f"wrote {os.path.normpath(TARGET)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Table 2: penultimate-hop symmetry, intra vs interdomain (§4.4)."""
+
+from conftest import BENCH_SEED, fresh_scenario, write_report
+
+from repro.experiments import exp_symmetry_assumption
+from repro.experiments.exp_symmetry_assumption import Table2Result
+
+
+def _merged(results):
+    merged = Table2Result()
+    for result in results:
+        merged.paths_evaluated += result.paths_evaluated
+        for field in ("yes", "no", "unknown"):
+            for row in ("intra", "inter"):
+                setattr(
+                    getattr(merged, row),
+                    field,
+                    getattr(getattr(merged, row), field)
+                    + getattr(getattr(result, row), field),
+                )
+    return merged
+
+
+def test_table2(benchmark):
+    def run_study():
+        # Aggregate over two topologies: the per-seed sample is a few
+        # hundred paths, so one seed's intra/inter split is noisy
+        # (the paper aggregates 1.5M paths).
+        return _merged(
+            [
+                exp_symmetry_assumption.run(
+                    fresh_scenario(seed=seed), max_targets=300
+                )
+                for seed in (BENCH_SEED, BENCH_SEED + 2)
+            ]
+        )
+
+    result = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    write_report(
+        "table2", exp_symmetry_assumption.format_report(result)
+    )
+    intra = result.intra.rate()
+    inter = result.inter.rate()
+    assert result.paths_evaluated > 150
+    assert intra is not None and inter is not None
+    # The paper's claim behind Q5: intradomain symmetry assumptions
+    # are safer than interdomain ones.
+    assert intra > inter
+    assert intra >= 0.6

@@ -1,0 +1,26 @@
+"""Table 5: fraction of prefixes with a VP found within 8 RR hops."""
+
+from conftest import write_report
+
+from repro.experiments import exp_vp_selection
+
+
+def test_table5(benchmark, vp_selection):
+    report = benchmark(exp_vp_selection.format_table5, vp_selection)
+    write_report("table5", report)
+
+    table = vp_selection.table5
+    # The heuristics only add coverage, and the full stack approaches
+    # the optimal (paper: 0.65 -> 0.70 -> 0.71 vs optimal 0.72).
+    assert (
+        table["ingress"]
+        <= table["ingress+double-stamp"] + 1e-9
+    )
+    assert (
+        table["ingress+double-stamp"]
+        <= table["ingress+double-stamp+loop"] + 1e-9
+    )
+    assert (
+        table["ingress+double-stamp+loop"]
+        >= 0.85 * table["optimal"]
+    )

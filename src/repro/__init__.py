@@ -1,0 +1,29 @@
+"""repro — a reproduction of "Internet Scale Reverse Traceroute".
+
+Measures reverse paths (from arbitrary, uncontrolled destinations back
+to your sources) on a packet-level Internet simulator, reproducing the
+revtr 2.0 system of Vermeulen et al. (ACM IMC 2022) end to end: the
+measurement technique, the system pipeline, the revtr 1.0 baseline,
+and every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro.experiments import Scenario
+    from repro.topology import TopologyConfig
+
+    scenario = Scenario(config=TopologyConfig.small(seed=1), seed=1)
+    source = scenario.sources()[0]
+    engine = scenario.engine(source, "revtr2.0")
+    result = engine.measure(scenario.responsive_destinations(1)[0])
+    print(result.render())
+
+Package map: :mod:`repro.net` (packets, options, routers),
+:mod:`repro.topology` (AS graph + generator), :mod:`repro.sim` (the
+packet walker), :mod:`repro.probing` (measurement primitives),
+:mod:`repro.alias` / :mod:`repro.asmap` (alias and IP-to-AS data),
+:mod:`repro.core` (the revtr engines), :mod:`repro.service` (the open
+system), :mod:`repro.te` (traffic engineering),
+:mod:`repro.analysis` and :mod:`repro.experiments` (the evaluation).
+"""
+
+__version__ = "1.0.0"

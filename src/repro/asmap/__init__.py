@@ -1,0 +1,20 @@
+"""IP-to-AS mapping and AS relationship data.
+
+The revtr 2.0 abort decision (Q5) hinges on classifying a link as
+intradomain or interdomain, which requires mapping addresses to ASes —
+a problem the paper discusses at length (Appendix B.2). This package
+provides the layered longest-prefix mapper the paper borrows from
+Arnold et al., a bdrmapit-like offline refinement, and the
+relationship/customer-cone data used by the suspicious-link heuristic.
+"""
+
+from repro.asmap.ip2as import IPToASMapper, collapse_as_path
+from repro.asmap.relationships import ASRelationships
+from repro.asmap.bdrmapit import BdrmapitLite
+
+__all__ = [
+    "IPToASMapper",
+    "collapse_as_path",
+    "ASRelationships",
+    "BdrmapitLite",
+]

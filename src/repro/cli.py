@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``measure`` — build a simulated Internet and run reverse traceroutes
+  toward an M-Lab-like source, printing hop-by-hop results;
+* ``asymmetry`` — run a miniature §6.2 bidirectional study;
+* ``te`` — run the §6.1 traffic-engineering loop;
+* ``survey`` — the Appendix F record-route responsiveness survey.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import Scenario
+from repro.topology import TopologyConfig
+
+
+def _scenario(args: argparse.Namespace) -> Scenario:
+    config = {
+        "tiny": TopologyConfig.tiny,
+        "small": TopologyConfig.small,
+        "evaluation": TopologyConfig.evaluation,
+    }[args.scale](seed=args.seed)
+    return Scenario(
+        config=config, seed=args.seed, atlas_size=args.atlas_size
+    )
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    scenario = _scenario(args)
+    source = scenario.sources()[args.source_index]
+    engine = scenario.engine(source, args.variant)
+    destinations = (
+        [args.dst]
+        if args.dst
+        else scenario.responsive_destinations(
+            args.count, options_only=True
+        )
+    )
+    for dst in destinations:
+        result = engine.measure(dst)
+        print(result.render())
+        print(
+            f"  AS path: "
+            f"{scenario.ip2as.collapsed_as_path(result.addresses())}"
+        )
+        print(f"  probes: {result.probe_counts}")
+        print()
+    return 0
+
+
+def _cmd_asymmetry(args: argparse.Namespace) -> int:
+    from repro.experiments import exp_asymmetry
+
+    scenario = _scenario(args)
+    campaign = exp_asymmetry.run(
+        scenario, n_destinations=args.count, n_sources=3
+    )
+    print(exp_asymmetry.format_fig8a(campaign))
+    print()
+    print(exp_asymmetry.format_fig8b_table7(campaign))
+    return 0
+
+
+def _cmd_te(args: argparse.Namespace) -> int:
+    from repro.experiments import exp_traffic_eng
+
+    scenario = _scenario(args)
+    result = exp_traffic_eng.run(scenario, n_monitors=args.count)
+    print(exp_traffic_eng.format_report(result))
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    from repro.experiments import exp_rr_responsiveness
+
+    result = exp_rr_responsiveness.run(seed=args.seed)
+    print(exp_rr_responsiveness.format_table6(result))
+    print()
+    print(exp_rr_responsiveness.format_fig11(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Internet Scale Reverse Traceroute — reproduction",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--scale",
+        choices=("tiny", "small", "evaluation"),
+        default="small",
+    )
+    parser.add_argument("--atlas-size", type=int, default=20)
+
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    measure = sub.add_parser(
+        "measure", help="run reverse traceroutes"
+    )
+    measure.add_argument("--dst", help="specific destination address")
+    measure.add_argument("--count", type=int, default=3)
+    measure.add_argument("--source-index", type=int, default=0)
+    measure.add_argument(
+        "--variant",
+        default="revtr2.0",
+        help="system variant (e.g. revtr2.0, revtr1.0)",
+    )
+    measure.set_defaults(func=_cmd_measure)
+
+    asymmetry = sub.add_parser(
+        "asymmetry", help="bidirectional asymmetry study"
+    )
+    asymmetry.add_argument("--count", type=int, default=100)
+    asymmetry.set_defaults(func=_cmd_asymmetry)
+
+    te = sub.add_parser(
+        "te", help="traffic-engineering case study"
+    )
+    te.add_argument("--count", type=int, default=60)
+    te.set_defaults(func=_cmd_te)
+
+    survey = sub.add_parser(
+        "survey", help="record-route responsiveness survey"
+    )
+    survey.set_defaults(func=_cmd_survey)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

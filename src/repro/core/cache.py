@@ -1,0 +1,100 @@
+"""Measurement cache (Insight 1.4).
+
+Paths are stable enough to reuse measurements for a day: revtr 2.0
+caches record-route results and forward traceroutes keyed by
+(measurement kind, parameters), with expiry read off the virtual clock.
+The cache is a large share of the Table 4 probe savings because reverse
+paths toward one source converge, so later reverse traceroutes re-hit
+the same (hop, source) measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.sim.clock import VirtualClock
+
+#: Default entry lifetime: one day (paper: daily refresh).
+DEFAULT_TTL = 86_400.0
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class MeasurementCache:
+    """A TTL cache driven by virtual time."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        ttl: float = DEFAULT_TTL,
+        enabled: bool = True,
+    ) -> None:
+        self.clock = clock
+        self.ttl = ttl
+        self.enabled = enabled
+        self.stats = CacheStats()
+        self._entries: Dict[Hashable, Tuple[float, Any]] = {}
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value, or None on miss/expiry/disabled."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        stored_at, value = entry
+        if self.clock.now() - stored_at > self.ttl:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if not self.enabled:
+            return
+        self._entries[key] = (self.clock.now(), value)
+
+    def contains_fresh(self, key: Hashable) -> bool:
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        return self.clock.now() - entry[0] <= self.ttl
+
+    def age(self, key: Hashable) -> Optional[float]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        return self.clock.now() - entry[0]
+
+    def purge_expired(self) -> int:
+        """Drop expired entries; returns how many were removed."""
+        now = self.clock.now()
+        expired = [
+            key
+            for key, (stored_at, _) in self._entries.items()
+            if now - stored_at > self.ttl
+        ]
+        for key in expired:
+            del self._entries[key]
+        return len(expired)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,513 @@
+"""The Reverse Traceroute engine.
+
+Implements the Fig. 2 control flow. One engine instance measures
+reverse paths toward one *source*; an
+:class:`~repro.core.result.ReverseTracerouteResult` is built
+hop-by-hop from the destination back to the source:
+
+1. **Intersection** — is the current hop on a known route to the
+   source? revtr 2.0 consults the traceroute atlas directly and through
+   the RR atlas's precomputed aliases (Q2); revtr 1.0 consults offline
+   alias datasets (ITDK-like) and the /30 heuristic.
+2. **Record route** — direct RR ping from the source, then batches of
+   spoofed RR pings from vantage points chosen by the pluggable
+   selector (Q3).
+3. **Timestamp** — revtr 1.0 only (Q4): tsprespec tests of traceroute
+   adjacencies.
+4. **Assume symmetry** — forward traceroute to the current hop; adopt
+   the penultimate hop per the symmetry policy (Q5), or abort.
+
+The same engine class, parameterised by :class:`EngineConfig`, realises
+revtr 2.0, revtr 1.0, and every intermediate variant of Table 4 /
+Fig. 5c ("revtr 2.0 = revtr 1.0 + ingress + cache − TS + RR atlas").
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.alias.resolver import AliasResolver
+from repro.asmap.ip2as import IPToASMapper
+from repro.asmap.relationships import ASRelationships
+from repro.core.adjacency import AdjacencyDatabase
+from repro.core.atlas import Intersection, TracerouteAtlas
+from repro.core.cache import MeasurementCache
+from repro.core.flags import flag_suspicious_links
+from repro.core.result import (
+    HopTechnique,
+    ReverseHop,
+    ReverseTracerouteResult,
+    RevtrStatus,
+)
+from repro.core.rr_atlas import RRAtlas
+from repro.core.symmetry import LinkType, SymmetryPolicy, SymmetryStepper
+from repro.net.addr import Address, is_private, slash30_peer
+from repro.probing.prober import Prober
+
+
+@dataclass
+class EngineConfig:
+    """Feature flags selecting a system variant.
+
+    The defaults are revtr 2.0; see
+    :func:`repro.core.revtr_legacy.legacy_engine_config` for revtr 1.0.
+    """
+
+    use_rr_atlas: bool = True
+    use_alias_intersection: bool = False
+    use_timestamp: bool = False
+    use_cache: bool = True
+    symmetry: SymmetryPolicy = SymmetryPolicy.INTRADOMAIN_ONLY
+    batch_size: int = 3
+    max_path_hops: int = 48
+    max_batches_per_hop: int = 60
+    max_adjacencies: int = 8
+    ping_check: bool = True
+    #: Appendix A request option: refuse intersections with atlas
+    #: traceroutes older than this (seconds); the engine re-measures
+    #: the traceroute online instead of using the stale copy. None
+    #: accepts any age (the atlas refresh policy handles staleness).
+    max_intersection_age: Optional[float] = None
+    #: Appendix E option: spend one redundant spoofed RR per adopted
+    #: hop to detect destination-based-routing violations; suspected
+    #: violations are flagged on the result rather than silently
+    #: trusted.
+    detect_violations: bool = False
+
+    def variant_name(self) -> str:
+        """Short label for reports (Table 4 row names)."""
+        if (
+            self.use_rr_atlas
+            and not self.use_timestamp
+            and self.use_cache
+        ):
+            return "revtr2.0"
+        parts = ["revtr1.0"]
+        if self.use_cache:
+            parts.append("+cache")
+        if not self.use_timestamp:
+            parts.append("-TS")
+        if self.use_rr_atlas:
+            parts.append("+RRatlas")
+        return " ".join(parts)
+
+
+class RevtrEngine:
+    """Measures reverse traceroutes from arbitrary destinations back to
+    one source."""
+
+    def __init__(
+        self,
+        prober: Prober,
+        source: Address,
+        atlas: TracerouteAtlas,
+        selector,
+        ip2as: IPToASMapper,
+        relationships: ASRelationships,
+        config: Optional[EngineConfig] = None,
+        rr_atlas: Optional[RRAtlas] = None,
+        resolver: Optional[AliasResolver] = None,
+        adjacency: Optional[AdjacencyDatabase] = None,
+        cache: Optional[MeasurementCache] = None,
+        spoofers: Sequence[Address] = (),
+    ) -> None:
+        self.prober = prober
+        self.source = source
+        self.atlas = atlas
+        self.selector = selector
+        self.ip2as = ip2as
+        self.relationships = relationships
+        self.config = config if config is not None else EngineConfig()
+        self.rr_atlas = rr_atlas
+        self.resolver = resolver if resolver is not None else AliasResolver()
+        self.adjacency = adjacency
+        self.cache = (
+            cache
+            if cache is not None
+            else MeasurementCache(
+                prober.clock, enabled=self.config.use_cache
+            )
+        )
+        self.cache.enabled = self.config.use_cache
+        self.spoofers = list(spoofers)
+        self.symmetry = SymmetryStepper(
+            prober, ip2as, source, cache=self.cache
+        )
+        self._terminal: Set[Address] = set()
+        self._atlas_by_group: Dict[int, List[Address]] = {}
+        self._harvest_terminal_from_atlas()
+        if self.config.use_alias_intersection:
+            self.refresh_alias_index()
+
+    # ------------------------------------------------------------------
+    # Bootstrap helpers
+    # ------------------------------------------------------------------
+
+    def _harvest_terminal_from_atlas(self) -> None:
+        """Learn the source's first-hop addresses from atlas tails."""
+        for trace in self.atlas.traceroutes.values():
+            if not trace.reached:
+                continue
+            hops = trace.responsive_hops()
+            if len(hops) >= 2 and hops[-1] == self.source:
+                self._terminal.add(hops[-2])
+
+    def refresh_alias_index(self) -> None:
+        """Rebuild the ITDK-group → atlas-hop index (revtr 1.0 path)."""
+        self._atlas_by_group.clear()
+        for addr in self.atlas.all_hops():
+            group = self.resolver.group_of(addr)
+            if group is not None:
+                self._atlas_by_group.setdefault(group, []).append(addr)
+
+    def _is_terminal(self, addr: Address) -> bool:
+        if addr == self.source:
+            return True
+        if addr in self._terminal:
+            return True
+        return any(
+            self.resolver.aligned(addr, t) for t in self._terminal
+        )
+
+    # ------------------------------------------------------------------
+    # Techniques
+    # ------------------------------------------------------------------
+
+    def _intersect(self, current: Address) -> Optional[Intersection]:
+        hit = self.atlas.lookup(current)
+        if hit is not None:
+            return hit
+        if self.config.use_rr_atlas and self.rr_atlas is not None:
+            hit = self.rr_atlas.lookup(current)
+            if hit is not None:
+                return hit
+        if self.config.use_alias_intersection:
+            peer = slash30_peer(current)
+            if peer is not None:
+                hit = self.atlas.lookup(peer)
+                if hit is not None:
+                    return hit
+            group = self.resolver.group_of(current)
+            if group is not None:
+                for alias in self._atlas_by_group.get(group, ()):
+                    hit = self.atlas.lookup(alias)
+                    if hit is not None:
+                        return hit
+        return None
+
+    def _rr_step(
+        self, current: Address
+    ) -> Tuple[List[Address], HopTechnique]:
+        """Try to reveal reverse hops from *current* with record route."""
+        key = ("rr-step", self.source, current)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+
+        result = self.prober.rr_ping(self.source, current)
+        if result.responded and result.reverse_hops():
+            outcome = (result.reverse_hops(), HopTechnique.RR)
+            self.cache.put(key, outcome)
+            return outcome
+
+        for results in self._spoofed_batches(current):
+            best = max(results, key=lambda r: len(r.reverse_hops()))
+            if best.reverse_hops():
+                outcome = (
+                    best.reverse_hops(),
+                    HopTechnique.SPOOFED_RR,
+                )
+                self.cache.put(key, outcome)
+                return outcome
+        outcome = ([], HopTechnique.SPOOFED_RR)
+        self.cache.put(key, outcome)
+        return outcome
+
+    def _spoofed_batches(self, current: Address):
+        """Yield spoofed-RR result batches for *current*.
+
+        With a session-capable selector this runs the §4.3 feedback
+        loop: each probe's recorded slots are reported back, and VPs
+        whose measurements missed their expected ingress are replaced
+        by the next-closest candidates. Otherwise the selector's
+        static batch order is used.
+        """
+        session = None
+        if hasattr(self.selector, "session"):
+            session = self.selector.session(current)
+        if session is not None:
+            for _ in range(self.config.max_batches_per_hop):
+                batch = [
+                    vp
+                    for vp in session.next_batch()
+                    if vp != self.source
+                ]
+                if not batch:
+                    return
+                results = self.prober.spoofed_rr_batch(
+                    batch, current, spoof_as=self.source
+                )
+                for probe_result in results:
+                    session.observe(
+                        probe_result.vp, probe_result.slots
+                    )
+                yield results
+            return
+        for index, batch in enumerate(self.selector.batches(current)):
+            if index >= self.config.max_batches_per_hop:
+                return
+            vps = [vp for vp in batch if vp != self.source]
+            if not vps:
+                continue
+            yield self.prober.spoofed_rr_batch(
+                vps, current, spoof_as=self.source
+            )
+
+    def _refresh_intersection(self, hit, current: Address):
+        """Re-measure an over-age atlas traceroute online (Appendix A's
+        per-request staleness bound), then retry the lookup."""
+        from repro.probing.traceroute import paris_traceroute
+
+        trace = paris_traceroute(self.prober, hit.vp, self.source)
+        if trace.responsive_hops():
+            self.atlas.add(trace)
+        if self.config.use_alias_intersection:
+            self.refresh_alias_index()
+        return self._intersect(current)
+
+    def _violation_check(
+        self, revealed: List[Address]
+    ) -> Optional[Address]:
+        """One redundant spoofed RR to the first revealed hop: does the
+        reverse path still run through the second (Appendix E)?
+
+        Returns the suspect hop address, or None when consistent or
+        inconclusive.
+        """
+        first, expected = revealed[0], revealed[1]
+        if is_private(first) or is_private(expected):
+            return None
+        redundant = self.prober.rr_ping(self.source, first)
+        if not redundant.responded:
+            return None
+        hops = [
+            hop
+            for hop in redundant.reverse_hops()[1:]
+            if not is_private(hop)
+        ]
+        if not hops:
+            return None
+        nxt = hops[0]
+        if nxt == expected or slash30_peer(nxt) == expected:
+            return None
+        if self.resolver.aligned(nxt, expected):
+            return None
+        return first
+
+    def _timestamp_step(self, current: Address) -> Optional[Address]:
+        """revtr 1.0's adjacency tests via tsprespec (Fig. 1e).
+
+        The /30 peer of an RR-discovered egress interface is the far
+        end of the link — a prime next-hop candidate, not an alias —
+        so it is tested first, followed by traceroute-graph
+        adjacencies of the hop and of its peer.
+        """
+        if self.adjacency is None:
+            return None
+        candidates: List[Address] = []
+        peer = slash30_peer(current)
+        if peer is not None:
+            candidates.append(peer)
+        candidates += self.adjacency.neighbors(
+            current,
+            aliases=[peer] if peer else None,
+            limit=self.config.max_adjacencies,
+        )
+        seen_candidates: Set[Address] = set()
+        candidates = [
+            c
+            for c in candidates
+            if not (c in seen_candidates or seen_candidates.add(c))
+        ][: self.config.max_adjacencies]
+        for adj in candidates:
+            result = self.prober.ts_ping(
+                self.source, current, [current, adj]
+            )
+            if not result.responded and self.spoofers:
+                result = self.prober.ts_ping(
+                    self.spoofers[0],
+                    current,
+                    [current, adj],
+                    spoof_as=self.source,
+                )
+            if result.adjacency_on_reverse_path:
+                return adj
+        return None
+
+    # ------------------------------------------------------------------
+    # The measurement loop
+    # ------------------------------------------------------------------
+
+    def measure(self, dst: Address) -> ReverseTracerouteResult:
+        """Measure the reverse path from *dst* back to the source."""
+        clock = self.prober.clock
+        start_time = clock.now()
+        counts_before = Counter(self.prober.counter.counts)
+
+        result = ReverseTracerouteResult(
+            src=self.source, dst=dst, status=RevtrStatus.INCOMPLETE
+        )
+
+        if self.config.ping_check:
+            if self.prober.ping(self.source, dst) is None:
+                result.status = RevtrStatus.UNRESPONSIVE
+                self._finish(result, start_time, counts_before)
+                return result
+
+        hops: List[ReverseHop] = [
+            ReverseHop(dst, HopTechnique.DESTINATION)
+        ]
+        seen: Set[Address] = {dst}
+        current = dst
+        status: Optional[RevtrStatus] = None
+        source = self.source
+
+        while len(hops) < self.config.max_path_hops:
+            if self._is_terminal(current):
+                hops.append(ReverseHop(source, HopTechnique.SOURCE))
+                status = RevtrStatus.COMPLETE
+                break
+
+            hit = self._intersect(current)
+            if (
+                hit is not None
+                and self.config.max_intersection_age is not None
+                and clock.now() - hit.timestamp
+                > self.config.max_intersection_age
+            ):
+                # Appendix A option: the user asked for fresher data
+                # than the atlas holds — re-measure the traceroute
+                # online before trusting the intersection.
+                hit = self._refresh_intersection(hit, current)
+            if hit is not None:
+                result.intersection_vp = hit.vp
+                result.stale_intersection = self.atlas.is_stale(
+                    hit, clock.now()
+                )
+                self.atlas.mark_useful(hit.vp)
+                for addr in self.atlas.suffix(hit):
+                    technique = (
+                        HopTechnique.SOURCE
+                        if addr == source
+                        else HopTechnique.INTERSECTION
+                    )
+                    hops.append(ReverseHop(addr, technique))
+                if hops[-1].addr != source:
+                    hops.append(ReverseHop(source, HopTechnique.SOURCE))
+                status = RevtrStatus.COMPLETE
+                break
+
+            revealed, technique = self._rr_step(current)
+            fresh = [addr for addr in revealed if addr not in seen]
+            if (
+                fresh
+                and self.config.detect_violations
+                and len(revealed) >= 2
+            ):
+                suspect = self._violation_check(revealed)
+                if suspect is not None:
+                    result.suspected_violations.append(suspect)
+            if fresh:
+                terminated = False
+                next_current: Optional[Address] = None
+                for addr in fresh:
+                    hops.append(ReverseHop(addr, technique))
+                    seen.add(addr)
+                    if not is_private(addr):
+                        next_current = addr
+                    if self._is_terminal(addr):
+                        hops.append(
+                            ReverseHop(source, HopTechnique.SOURCE)
+                        )
+                        status = RevtrStatus.COMPLETE
+                        terminated = True
+                        break
+                if terminated:
+                    break
+                if next_current is not None:
+                    current = next_current
+                    continue
+                # Every fresh hop was private: fall through.
+
+            if self.config.use_timestamp:
+                adjacent = self._timestamp_step(current)
+                if adjacent is not None and adjacent not in seen:
+                    hops.append(
+                        ReverseHop(adjacent, HopTechnique.TIMESTAMP)
+                    )
+                    seen.add(adjacent)
+                    current = adjacent
+                    continue
+
+            outcome = self.symmetry.step(current)
+            if outcome.traceroute is not None:
+                first = next(
+                    (h for h in outcome.traceroute.hops if h is not None),
+                    None,
+                )
+                if first is not None:
+                    self._terminal.add(first)
+            if outcome.adjacent_to_source:
+                hops.append(ReverseHop(source, HopTechnique.SOURCE))
+                status = RevtrStatus.COMPLETE
+                break
+            if (
+                outcome.penultimate is None
+                or outcome.penultimate in seen
+            ):
+                status = RevtrStatus.INCOMPLETE
+                break
+            if (
+                self.config.symmetry is SymmetryPolicy.INTRADOMAIN_ONLY
+                and outcome.link is not LinkType.INTRA
+            ):
+                status = RevtrStatus.ABORTED_INTERDOMAIN
+                break
+            hops.append(
+                ReverseHop(
+                    outcome.penultimate,
+                    HopTechnique.ASSUMED_SYMMETRY,
+                    assumed_link=outcome.link.value,
+                )
+            )
+            seen.add(outcome.penultimate)
+            current = outcome.penultimate
+
+        result.hops = hops
+        result.status = (
+            status if status is not None else RevtrStatus.INCOMPLETE
+        )
+        self._finish(result, start_time, counts_before)
+        return result
+
+    def _finish(
+        self,
+        result: ReverseTracerouteResult,
+        start_time: float,
+        counts_before: Counter,
+    ) -> None:
+        clock = self.prober.clock
+        result.duration = clock.now() - start_time
+        after = self.prober.counter.counts
+        result.probe_counts = {
+            kind.value: after[kind] - counts_before[kind]
+            for kind in after
+            if after[kind] - counts_before[kind]
+        }
+        if result.hops:
+            result.flagged_as_path = flag_suspicious_links(
+                result.addresses(), self.ip2as, self.relationships
+            )

@@ -1,0 +1,40 @@
+"""revtr 1.0 — the 2010 system, reimplemented (§5.2.1).
+
+The paper compares *designs* rather than instantiations: revtr 1.0 is
+re-implemented in the new codebase, given the same vantage points and
+the same traceroute atlas, but with the 2010 design decisions:
+
+* intersections found through offline alias datasets (ITDK-like) and
+  the /30 heuristic rather than the RR atlas;
+* vantage points ordered by destination set cover, tried until one
+  reaches the destination;
+* IP timestamp adjacency testing when record route fails;
+* symmetry always assumed, interdomain or not;
+* no cross-measurement caching.
+"""
+
+from __future__ import annotations
+
+from repro.core.revtr import EngineConfig
+from repro.core.symmetry import SymmetryPolicy
+
+
+def legacy_engine_config(**overrides) -> EngineConfig:
+    """An :class:`EngineConfig` with revtr 1.0's design choices.
+
+    Keyword overrides let the Table 4 / Fig. 5c ladder enable the new
+    components one at a time (``+ingress``, ``+cache``, ``-TS``,
+    ``+RR atlas``).
+    """
+    config = EngineConfig(
+        use_rr_atlas=False,
+        use_alias_intersection=True,
+        use_timestamp=True,
+        use_cache=False,
+        symmetry=SymmetryPolicy.ALWAYS,
+    )
+    for name, value in overrides.items():
+        if not hasattr(config, name):
+            raise TypeError(f"unknown EngineConfig field {name!r}")
+        setattr(config, name, value)
+    return config

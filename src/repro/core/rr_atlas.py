@@ -1,0 +1,140 @@
+"""The RR atlas: a-priori intersection aliases (design question Q2).
+
+Routers show traceroute one address (the ingress) and record route
+another (the egress toward the source), so a reverse traceroute's
+RR-discovered hops rarely string-match the traceroute atlas. Instead of
+runtime alias resolution — slow, incomplete — revtr 2.0 probes every
+atlas traceroute hop with a record-route ping toward the source
+*offline*: the reply's reverse-path stamps are exactly the addresses a
+later reverse traceroute will see, so each one is registered as an
+intersection alias pointing into the atlas (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.addr import Address, same_slash30, same_slash31, slash30_peer
+from repro.core.atlas import Intersection, TracerouteAtlas
+from repro.probing.budget import ProbeCounter
+from repro.probing.prober import Prober, RRPingResult
+
+
+class RRAtlas:
+    """Maps RR-visible addresses to atlas traceroute positions."""
+
+    def __init__(self, atlas: TracerouteAtlas) -> None:
+        self.atlas = atlas
+        #: RR-visible address -> (vp, traceroute index) it intersects at
+        self._mapping: Dict[Address, Tuple[Address, int]] = {}
+        self.probes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Offline construction
+    # ------------------------------------------------------------------
+
+    def build(
+        self,
+        prober: Prober,
+        spoofer_vps: Sequence[Address],
+        max_spoofers_per_hop: int = 2,
+    ) -> None:
+        """Probe every atlas hop with RR toward the source.
+
+        Tries a direct RR ping from the source first; if the hop is out
+        of range, retries spoofed as the source from a few VPs (Fig. 3's
+        "from s or spoofing as s").
+        """
+        source = self.atlas.source
+        for vp, trace in self.atlas.traceroutes.items():
+            for index, hop in enumerate(trace.hops):
+                if hop is None or hop == source:
+                    continue
+                result = prober.rr_ping(source, hop)
+                self.probes_sent += 1
+                if not self._usable(result):
+                    for spoofer in spoofer_vps[:max_spoofers_per_hop]:
+                        result = prober.rr_ping(
+                            spoofer, hop, spoof_as=source
+                        )
+                        self.probes_sent += 1
+                        if self._usable(result):
+                            break
+                if self._usable(result):
+                    self._register(result, vp, index, trace.hops)
+
+    @staticmethod
+    def _usable(result: RRPingResult) -> bool:
+        return result.responded and result.destination_stamp_index() is not None
+
+    def _register(
+        self,
+        result: RRPingResult,
+        vp: Address,
+        hop_index: int,
+        trace_hops: Sequence[Optional[Address]],
+    ) -> None:
+        """Register the reply's reverse-path stamps as aliases.
+
+        Attribution must never be too shallow: intersecting at an
+        earlier position than the alias's real router would prepend
+        hops the reverse path never visits (a wrong path), whereas a
+        too-deep attribution only shortens the copied suffix. So an
+        alias is registered only when its position is *certain*:
+
+        * the probed hop's own stamp (the reply's first entry) belongs
+          to the probed position;
+        * other revealed addresses are registered only when they align
+          with a specific later traceroute hop (same address, /31, or
+          the two ends of a /30) — non-stamping routers make purely
+          positional attribution unsound.
+        """
+        stamp_index = result.destination_stamp_index()
+        assert stamp_index is not None
+        revealed = [result.slots[stamp_index]] + result.reverse_hops()
+        last_index = len(trace_hops) - 1
+        for offset, addr in enumerate(revealed):
+            position: Optional[int] = hop_index if offset == 0 else None
+            for later in range(last_index, hop_index, -1):
+                hop = trace_hops[later]
+                if hop is None:
+                    continue
+                if (
+                    addr == hop
+                    or same_slash31(addr, hop)
+                    or (
+                        same_slash30(addr, hop)
+                        and slash30_peer(addr) == hop
+                    )
+                ):
+                    position = later
+                    break
+            if position is None:
+                continue
+            existing = self._mapping.get(addr)
+            if existing is None or position > existing[1]:
+                self._mapping[addr] = (vp, position)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def lookup(self, addr: Address) -> Optional[Intersection]:
+        """Intersection for an RR-visible alias, if registered."""
+        entry = self._mapping.get(addr)
+        if entry is None:
+            return None
+        vp, index = entry
+        trace = self.atlas.traceroutes.get(vp)
+        if trace is None:
+            return None
+        return Intersection(vp, index, trace.timestamp)
+
+    def known_aliases(self) -> List[Address]:
+        return list(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __contains__(self, addr: Address) -> bool:
+        return addr in self._mapping

@@ -1,0 +1,104 @@
+"""The symmetry-assumption step (design question Q5).
+
+When no technique uncovers the next reverse hop, Reverse Traceroute
+issues a forward traceroute from the source to the current hop and
+considers the penultimate hop. revtr 1.0 always adopted it; revtr 2.0
+adopts it only when the (penultimate, current) link is *intradomain* —
+the Section 4.4 study found intradomain links symmetric in 90% of
+cases but interdomain ones in only 57% — and aborts otherwise
+(Insight 1.10: better no answer than an untrustworthy one).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.asmap.ip2as import IPToASMapper
+from repro.core.cache import MeasurementCache
+from repro.net.addr import Address
+from repro.net.packet import TracerouteResult
+from repro.probing.prober import Prober
+from repro.probing.traceroute import paris_traceroute
+
+
+class SymmetryPolicy(enum.Enum):
+    """What to do with a symmetry assumption."""
+
+    ALWAYS = "always"  # revtr 1.0
+    INTRADOMAIN_ONLY = "intradomain-only"  # revtr 2.0
+
+
+class LinkType(enum.Enum):
+    """Classification of the (penultimate, current) link."""
+
+    INTRA = "intra"
+    INTER = "inter"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SymmetryOutcome:
+    """Result of one symmetry step."""
+
+    penultimate: Optional[Address]
+    link: LinkType
+    traceroute: Optional[TracerouteResult] = None
+    #: current hop is directly adjacent to the source (1-hop traceroute)
+    adjacent_to_source: bool = False
+
+
+class SymmetryStepper:
+    """Issues the Q5 forward traceroute and classifies the last link."""
+
+    def __init__(
+        self,
+        prober: Prober,
+        ip2as: IPToASMapper,
+        source: Address,
+        cache: Optional[MeasurementCache] = None,
+    ) -> None:
+        self.prober = prober
+        self.ip2as = ip2as
+        self.source = source
+        self.cache = cache
+
+    def _traceroute(self, dst: Address) -> TracerouteResult:
+        key = ("traceroute", self.source, dst)
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        trace = paris_traceroute(self.prober, self.source, dst)
+        if self.cache is not None:
+            self.cache.put(key, trace)
+        return trace
+
+    def classify_link(self, a: Address, b: Address) -> LinkType:
+        """Intradomain / interdomain per the system's IP-to-AS view."""
+        same = self.ip2as.same_as(a, b)
+        if same is None:
+            return LinkType.UNKNOWN
+        return LinkType.INTRA if same else LinkType.INTER
+
+    def step(self, current: Address) -> SymmetryOutcome:
+        """Traceroute to *current*; propose the penultimate hop."""
+        trace = self._traceroute(current)
+        hops = trace.responsive_hops()
+        if not trace.reached or not hops:
+            return SymmetryOutcome(None, LinkType.UNKNOWN, trace)
+        # The traceroute reached `current`; its final hop is current
+        # itself (or an alias that answered for it).
+        if len(hops) == 1:
+            return SymmetryOutcome(
+                None, LinkType.UNKNOWN, trace, adjacent_to_source=True
+            )
+        penultimate = hops[-2] if hops[-1] == current else hops[-1]
+        if penultimate == current:
+            return SymmetryOutcome(None, LinkType.UNKNOWN, trace)
+        return SymmetryOutcome(
+            penultimate,
+            self.classify_link(penultimate, current),
+            trace,
+        )

@@ -1,0 +1,11 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each ``exp_*`` module exposes a ``run(...)`` function returning a
+result object with paper-reference values attached, and a
+``format_report(...)`` helper that prints the same rows/series the
+paper reports. The benchmarks under ``benchmarks/`` call these.
+"""
+
+from repro.experiments.common import Scenario, SourceBundle
+
+__all__ = ["Scenario", "SourceBundle"]

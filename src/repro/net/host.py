@@ -1,0 +1,43 @@
+"""End-host model.
+
+Hosts are the destinations of reverse traceroutes (the ISI-hitlist
+targets of the paper's surveys) and the sources/vantage points of the
+measurement system. Their responsiveness knobs reproduce Appendix F's
+population statistics: most hosts answer plain pings, and 78% of those
+also answer pings carrying IP options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addr import Address
+
+
+@dataclass
+class Host:
+    """An end host attached to an edge router.
+
+    Attributes:
+        addr: the host's address.
+        asn: AS the host lives in.
+        edge_router_id: router its LAN hangs off.
+        responds_to_ping: answers ICMP echo without options.
+        responds_to_options: answers echo requests carrying RR/TS
+            options (the paper's "RR responsive").
+        stamps_rr: whether, when answering an RR ping, the host records
+            its own address in the remaining slot before replying.
+            Non-stamping destinations trigger the Appendix C heuristics.
+        is_vantage_point: part of the measurement infrastructure.
+    """
+
+    addr: Address
+    asn: int
+    edge_router_id: int
+    responds_to_ping: bool = True
+    responds_to_options: bool = True
+    stamps_rr: bool = True
+    is_vantage_point: bool = False
+
+    def __hash__(self) -> int:
+        return hash(self.addr)

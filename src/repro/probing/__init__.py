@@ -1,0 +1,24 @@
+"""Measurement primitives over the simulated Internet.
+
+This package is the system's "wire": pings, record-route pings (direct
+and spoofed), timestamp pings, and Paris traceroute, issued from vantage
+points and accounted against probe budgets and the virtual clock.
+"""
+
+from repro.probing.budget import ProbeCounter
+from repro.probing.prober import Prober, RRPingResult, TSPingResult
+from repro.probing.ratelimit import TokenBucket
+from repro.probing.traceroute import paris_traceroute
+from repro.probing.vantage import AtlasProbe, MLabSite, VantagePointPool
+
+__all__ = [
+    "ProbeCounter",
+    "Prober",
+    "RRPingResult",
+    "TSPingResult",
+    "TokenBucket",
+    "paris_traceroute",
+    "AtlasProbe",
+    "MLabSite",
+    "VantagePointPool",
+]

@@ -1,0 +1,56 @@
+"""Probe accounting.
+
+Table 4 of the paper compares system variants by the number and type of
+packets they send; every probe issued through a :class:`Prober` is
+counted here by :class:`~repro.net.packet.ProbeKind`. Counters nest:
+a revtr engine keeps a per-measurement counter and a global one.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.net.packet import ProbeKind
+
+
+@dataclass
+class ProbeCounter:
+    """Counts probes by kind, with optional parent roll-up."""
+
+    counts: Counter = field(default_factory=Counter)
+    parent: Optional["ProbeCounter"] = None
+
+    def record(self, kind: ProbeKind, n: int = 1) -> None:
+        self.counts[kind] += n
+        if self.parent is not None:
+            self.parent.record(kind, n)
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def of(self, kind: ProbeKind) -> int:
+        return self.counts[kind]
+
+    def snapshot(self) -> Dict[str, int]:
+        """Stable dict view, suitable for reports."""
+        return {kind.value: self.counts[kind] for kind in ProbeKind}
+
+    def merged(self, others: Iterable["ProbeCounter"]) -> "ProbeCounter":
+        merged = ProbeCounter(Counter(self.counts))
+        for other in others:
+            merged.counts.update(other.counts)
+        return merged
+
+    def reset(self) -> None:
+        self.counts.clear()
+
+    def table4_row(self) -> Dict[str, int]:
+        """The four packet-type columns of the paper's Table 4."""
+        return {
+            "RR": self.counts[ProbeKind.RECORD_ROUTE],
+            "Spoof RR": self.counts[ProbeKind.SPOOFED_RECORD_ROUTE],
+            "TS": self.counts[ProbeKind.TIMESTAMP],
+            "Spoof TS": self.counts[ProbeKind.SPOOFED_TIMESTAMP],
+        }

@@ -1,0 +1,77 @@
+"""Vantage point abstractions.
+
+Two populations, mirroring the paper's deployment:
+
+* :class:`MLabSite` — spoof-capable record-route vantage points hosted
+  in well-connected facilities; these issue the (spoofed) RR and TS
+  probes of the revtr machinery.
+* :class:`AtlasProbe` — traceroute-only probes with severe rate limits;
+  these build the traceroute atlas (Q1) and serve as the destinations
+  of the §5.2 evaluation (they can run the "direct traceroute" used as
+  approximate ground truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.addr import Address
+from repro.sim.network import Internet
+
+
+@dataclass(frozen=True)
+class MLabSite:
+    """A spoof-capable vantage point (one host at an M-Lab-like site)."""
+
+    addr: Address
+    asn: int
+    can_spoof: bool
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class AtlasProbe:
+    """A traceroute-only probe (RIPE-Atlas-like)."""
+
+    addr: Address
+    asn: int
+
+
+class VantagePointPool:
+    """The measurement infrastructure discovered from an Internet."""
+
+    def __init__(self, internet: Internet) -> None:
+        self.internet = internet
+        self.mlab_sites: List[MLabSite] = []
+        self.atlas_probes: List[AtlasProbe] = []
+        self._by_addr: Dict[Address, MLabSite] = {}
+        for index, addr in enumerate(internet.mlab_hosts):
+            host = internet.hosts[addr]
+            node = internet.graph.nodes[host.asn]
+            site = MLabSite(
+                addr=addr,
+                asn=host.asn,
+                can_spoof=node.allows_spoofing,
+                name=f"mlab{index:02d}",
+            )
+            self.mlab_sites.append(site)
+            self._by_addr[addr] = site
+        for addr in internet.atlas_hosts:
+            host = internet.hosts[addr]
+            self.atlas_probes.append(
+                AtlasProbe(addr=addr, asn=host.asn)
+            )
+
+    def spoofers(self) -> List[MLabSite]:
+        """M-Lab sites whose hosting network permits spoofing."""
+        return [site for site in self.mlab_sites if site.can_spoof]
+
+    def site_of(self, addr: Address) -> Optional[MLabSite]:
+        return self._by_addr.get(addr)
+
+    def mlab_addresses(self) -> List[Address]:
+        return [site.addr for site in self.mlab_sites]
+
+    def atlas_addresses(self) -> List[Address]:
+        return [probe.addr for probe in self.atlas_probes]

@@ -1,0 +1,152 @@
+"""The measurement API facade (Appendix A).
+
+`RevtrService` is the in-process equivalent of the paper's REST/gRPC
+endpoints: authenticated users request reverse traceroutes from
+destinations of their choice toward registered sources; requests are
+charged against per-user quotas, executed by a per-source revtr 2.0
+engine, and archived in the measurement store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.asmap.ip2as import IPToASMapper
+from repro.asmap.relationships import ASRelationships
+from repro.core.revtr import EngineConfig, RevtrEngine
+from repro.core.result import ReverseTracerouteResult
+from repro.net.addr import Address
+from repro.probing.prober import Prober
+from repro.service.sources import SourceRegistry
+from repro.service.store import MeasurementStore
+from repro.service.users import User, UserDatabase
+
+
+@dataclass
+class MeasurementRequest:
+    """A user's reverse-traceroute request."""
+
+    api_key: str
+    dst: Address
+    src: Address
+    label: str = ""
+
+
+class RevtrService:
+    """Users, sources, quotas, engines, and the archive — wired up."""
+
+    def __init__(
+        self,
+        prober: Prober,
+        registry: SourceRegistry,
+        selector,
+        ip2as: IPToASMapper,
+        relationships: ASRelationships,
+        resolver=None,
+        engine_config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.prober = prober
+        self.registry = registry
+        self.selector = selector
+        self.ip2as = ip2as
+        self.relationships = relationships
+        self.resolver = resolver
+        self.engine_config = (
+            engine_config if engine_config is not None else EngineConfig()
+        )
+        self.users = UserDatabase(prober.clock)
+        self.store = MeasurementStore()
+        self._engines: Dict[Address, RevtrEngine] = {}
+
+    # ------------------------------------------------------------------
+    # Administration
+    # ------------------------------------------------------------------
+
+    def add_user(
+        self,
+        name: str,
+        max_parallel: int = 10,
+        max_per_day: int = 10_000,
+    ) -> User:
+        return self.users.add_user(
+            name, max_parallel=max_parallel, max_per_day=max_per_day
+        )
+
+    def add_source(
+        self,
+        api_key: str,
+        addr: Address,
+        serves_as_vantage_point: bool = False,
+    ):
+        """Register a user-owned source (bootstraps it)."""
+        user = self.users.authenticate(api_key)
+        return self.registry.register(
+            addr,
+            owner=user.name,
+            serves_as_vantage_point=serves_as_vantage_point,
+        )
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    def _engine_for(self, source: Address) -> RevtrEngine:
+        engine = self._engines.get(source)
+        if engine is None:
+            registered = self.registry.sources.get(source)
+            if registered is None:
+                raise KeyError(f"source {source} not registered")
+            engine = RevtrEngine(
+                prober=self.prober,
+                source=source,
+                atlas=registered.atlas,
+                selector=self.selector,
+                ip2as=self.ip2as,
+                relationships=self.relationships,
+                config=self.engine_config,
+                rr_atlas=registered.rr_atlas,
+                resolver=self.resolver,
+                spoofers=self.registry.spoofer_vps,
+            )
+            self._engines[source] = engine
+        return engine
+
+    def request(
+        self, request: MeasurementRequest
+    ) -> ReverseTracerouteResult:
+        """Execute one authenticated reverse-traceroute request."""
+        user = self.users.authenticate(request.api_key)
+        user.charge(self.prober.clock.now())
+        engine = self._engine_for(request.src)
+        result = engine.measure(request.dst)
+        self.store.append(
+            result,
+            user=user.name,
+            requested_at=self.prober.clock.now(),
+            label=request.label,
+        )
+        return result
+
+    def request_batch(
+        self,
+        api_key: str,
+        dsts: Sequence[Address],
+        src: Address,
+        label: str = "",
+    ) -> List[ReverseTracerouteResult]:
+        """A batch of requests, charged and archived individually."""
+        user = self.users.authenticate(api_key)
+        user.charge(self.prober.clock.now(), n=len(dsts))
+        engine = self._engine_for(src)
+        results = []
+        for dst in dsts:
+            result = engine.measure(dst)
+            self.store.append(
+                result,
+                user=user.name,
+                requested_at=self.prober.clock.now(),
+                label=label,
+            )
+            results.append(result)
+        return results

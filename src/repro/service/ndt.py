@@ -1,0 +1,87 @@
+"""NDT-triggered reverse traceroutes (Appendix A).
+
+M-Lab's NDT speed-test service runs on the same nodes as revtr 2.0's
+sources; when a client starts an NDT measurement, the system requests a
+reverse traceroute from that client back to the serving node — subject
+to system load — building, over time, a dataset of round-trip paths
+annotated with the NDT throughput/latency results.
+
+This module is that trigger: a per-source hook with a load-based
+admission decision (token bucket over virtual time), archiving accepted
+measurements under the ``ndt`` label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.result import ReverseTracerouteResult
+from repro.core.revtr import RevtrEngine
+from repro.net.addr import Address
+from repro.probing.ratelimit import TokenBucket
+from repro.service.store import MeasurementStore
+
+
+@dataclass
+class NdtStats:
+    triggered: int = 0
+    accepted: int = 0
+    rejected_load: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        if not self.triggered:
+            return 0.0
+        return self.accepted / self.triggered
+
+
+class NdtTrigger:
+    """Requests a reverse traceroute per NDT test, load permitting."""
+
+    def __init__(
+        self,
+        engine: RevtrEngine,
+        store: MeasurementStore,
+        max_per_minute: float = 10.0,
+    ) -> None:
+        self.engine = engine
+        self.store = store
+        self.stats = NdtStats()
+        self._bucket = TokenBucket(
+            engine.prober.clock,
+            rate_per_second=max_per_minute / 60.0,
+            burst=max(1.0, max_per_minute / 6.0),
+        )
+
+    def on_ndt_test(
+        self, client: Address
+    ) -> Optional[ReverseTracerouteResult]:
+        """Called when *client* starts a speed test against this
+        source; returns the measurement, or None if load-shed.
+
+        Whether revtr 2.0 accepts or rejects the request depends on
+        system load (Appendix A) — modelled as a rate budget that the
+        trigger checks without blocking the NDT test itself.
+        """
+        self.stats.triggered += 1
+        if self._bucket.would_wait(1) > 0:
+            self.stats.rejected_load += 1
+            return None
+        self._bucket.acquire(1)
+        self.stats.accepted += 1
+        result = self.engine.measure(client)
+        self.store.append(
+            result,
+            user="ndt",
+            requested_at=self.engine.prober.clock.now(),
+            label="ndt",
+        )
+        return result
+
+    def dataset(self) -> List[ReverseTracerouteResult]:
+        """The accumulating NDT round-trip-path dataset."""
+        return [
+            record.result
+            for record in self.store.by_user("ndt")
+        ]

@@ -1,0 +1,139 @@
+"""Wire formats for the measurement API (Appendix A).
+
+The deployed system serves results over REST and gRPC; this module is
+the JSON side of that surface: stable, versioned dictionaries for
+reverse-traceroute results, plus JSONL export of the archive (the
+equivalent of the M-Lab cloud-storage dumps the paper publishes).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.core.result import (
+    HopTechnique,
+    ReverseHop,
+    ReverseTracerouteResult,
+    RevtrStatus,
+)
+from repro.service.store import MeasurementStore, StoredMeasurement
+
+#: Version tag embedded in every serialized result.
+WIRE_VERSION = 1
+
+
+def result_to_dict(result: ReverseTracerouteResult) -> Dict[str, Any]:
+    """Serialize a result to a JSON-compatible dictionary."""
+    return {
+        "version": WIRE_VERSION,
+        "src": result.src,
+        "dst": result.dst,
+        "status": result.status.value,
+        "duration_s": round(result.duration, 6),
+        "stale_intersection": result.stale_intersection,
+        "intersection_vp": result.intersection_vp,
+        "probe_counts": dict(result.probe_counts),
+        "suspected_violations": list(result.suspected_violations),
+        "flagged_as_path": (
+            list(result.flagged_as_path)
+            if result.flagged_as_path is not None
+            else None
+        ),
+        "hops": [
+            {
+                "addr": hop.addr,
+                "technique": hop.technique.value,
+                "assumed_link": hop.assumed_link,
+            }
+            for hop in result.hops
+        ],
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> ReverseTracerouteResult:
+    """Deserialize a result; raises ValueError on malformed input."""
+    if data.get("version") != WIRE_VERSION:
+        raise ValueError(
+            f"unsupported wire version {data.get('version')!r}"
+        )
+    try:
+        hops = [
+            ReverseHop(
+                addr=hop["addr"],
+                technique=HopTechnique(hop["technique"]),
+                assumed_link=hop.get("assumed_link"),
+            )
+            for hop in data["hops"]
+        ]
+        result = ReverseTracerouteResult(
+            src=data["src"],
+            dst=data["dst"],
+            status=RevtrStatus(data["status"]),
+            hops=hops,
+            duration=float(data.get("duration_s", 0.0)),
+            probe_counts=dict(data.get("probe_counts", {})),
+            stale_intersection=bool(
+                data.get("stale_intersection", False)
+            ),
+            intersection_vp=data.get("intersection_vp"),
+        )
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"malformed wire result: {error}") from error
+    result.suspected_violations = list(
+        data.get("suspected_violations", [])
+    )
+    flagged = data.get("flagged_as_path")
+    result.flagged_as_path = list(flagged) if flagged is not None else None
+    return result
+
+
+def result_to_json(result: ReverseTracerouteResult) -> str:
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+def result_from_json(text: str) -> ReverseTracerouteResult:
+    return result_from_dict(json.loads(text))
+
+
+def export_jsonl(
+    store: MeasurementStore,
+    path: str,
+    user: Optional[str] = None,
+) -> int:
+    """Dump archived measurements to a JSONL file; returns the count.
+
+    Each line carries the measurement plus its request metadata, the
+    shape of the paper's public archive records.
+    """
+    records = store.by_user(user) if user is not None else store.all()
+    with open(path, "w") as handle:
+        for record in records:
+            line = {
+                "user": record.user,
+                "requested_at": record.requested_at,
+                "label": record.label,
+                "measurement": result_to_dict(record.result),
+            }
+            handle.write(json.dumps(line, sort_keys=True) + "\n")
+    return len(records)
+
+
+def import_jsonl(path: str) -> List[StoredMeasurement]:
+    """Read an exported archive back into stored-measurement records."""
+    records: List[StoredMeasurement] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            records.append(
+                StoredMeasurement(
+                    result=result_from_dict(data["measurement"]),
+                    user=data["user"],
+                    requested_at=float(data["requested_at"]),
+                    label=data.get("label", ""),
+                )
+            )
+    return records

@@ -1,0 +1,13 @@
+"""Packet-level simulation over the synthetic topology.
+
+The simulator walks probes hop-by-hop through the router-level topology,
+applying record-route stamping, TTL expiry, timestamp prespec matching,
+load balancing, destination-based-routing violations, and spoofing
+filters — every mechanism the revtr measurement machinery interacts
+with on the real Internet.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.network import Internet, PrefixInfo, ProbeOutcome
+
+__all__ = ["VirtualClock", "Internet", "PrefixInfo", "ProbeOutcome"]

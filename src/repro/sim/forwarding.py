@@ -1,0 +1,88 @@
+"""Per-hop forwarding decisions: ECMP choice, load balancing, violations.
+
+Separated from the walker so the decision semantics — what is
+destination-based, what depends on the flow, what depends on the packet —
+are auditable in one place:
+
+* a plain router picks the first equal-cost candidate: strictly
+  destination-based;
+* a load balancer hashes the flow id for option-less packets (Paris
+  traceroute keeps the flow id fixed to see one consistent path) and
+  picks *randomly per packet* for option-carrying packets, matching the
+  observation in Appendix E;
+* a destination-based-routing violator hashes the packet's source
+  address: the same destination gets different next hops for different
+  sources, which is exactly the violation Appendix E quantifies.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addr import Address
+from repro.net.host import Host
+from repro.net.packet import Probe
+from repro.net.router import Router
+
+
+class ForwardingError(Exception):
+    """A packet hit a dead end (no route, unreachable target)."""
+
+
+@dataclass
+class DestTarget:
+    """Resolved delivery target(s) of a destination address.
+
+    Attributes:
+        dst: the probed address.
+        anchors: asn -> router to route toward inside that AS. Normally
+            a single entry; anycast prefixes have one per origin site.
+        host: set when the destination is an end host.
+        owner_router: set when the destination is a router interface.
+        link_endpoints: for a /30 link interface, both endpoint router
+            ids. Real IGPs route to the connected subnet, so a packet
+            for the interface is delivered via the *nearest* endpoint
+            and crosses the link if it arrived at the far side — this
+            is why the penultimate traceroute hop toward an interface
+            is so often the other end of its link (§4.4).
+    """
+
+    dst: Address
+    anchors: Dict[int, int]
+    host: Optional[Host] = None
+    owner_router: Optional[int] = None
+    link_endpoints: Optional[Tuple[int, int]] = None
+
+
+def choose_candidate(
+    router: Router,
+    candidates: List[int],
+    probe: Probe,
+    rng: random.Random,
+) -> int:
+    """Pick one of the equal-cost *candidates* at *router*."""
+    if len(candidates) == 1:
+        return candidates[0]
+    if router.dbr_violator:
+        index = zlib.crc32(
+            f"{probe.src}|{router.router_id}".encode()
+        ) % len(candidates)
+        return candidates[index]
+    if router.is_load_balancer:
+        if probe.has_options:
+            return rng.choice(candidates)
+        index = zlib.crc32(
+            f"{probe.src}|{probe.dst}|{probe.flow_id}".encode()
+        ) % len(candidates)
+        return candidates[index]
+    # Plain routers break equal-cost ties per destination: strictly
+    # destination-based, but direction-asymmetric — one source of the
+    # router-level asymmetry the paper measures even on AS-symmetric
+    # paths (§6.2).
+    index = zlib.crc32(
+        f"{router.router_id}|{probe.dst}".encode()
+    ) % len(candidates)
+    return candidates[index]

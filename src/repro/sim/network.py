@@ -1,0 +1,698 @@
+"""The simulated Internet: topology container and packet walker.
+
+:class:`Internet` holds everything the generator built — AS graph,
+routers, links, prefixes, hosts — plus the forwarding machinery. Its
+central method, :meth:`Internet.send_probe`, walks a probe hop-by-hop
+to its destination and routes the reply back to the probe's (possibly
+spoofed) source, applying record-route stamping, TTL expiry, timestamp
+prespec matching, and the load-balancing / destination-based-routing
+quirks along the way.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.addr import Address, Prefix, PrefixTable
+from repro.net.host import Host
+from repro.net.options import RecordRouteOption, TimestampOption
+from repro.net.packet import EchoReply, Probe, TracerouteReply
+from repro.net.router import Router
+from repro.sim.forwarding import DestTarget, ForwardingError, choose_candidate
+from repro.topology.asgraph import ASGraph
+from repro.topology.config import TopologyConfig
+from repro.topology.policy import AnnouncementSpec, RoutingPolicy
+
+#: Safety bound on router hops per one-way walk.
+MAX_HOPS = 64
+
+
+@dataclass
+class PrefixInfo:
+    """A BGP prefix: origin AS, attachment point, and hosts."""
+
+    prefix: Prefix
+    origin_asn: int
+    edge_router_id: Optional[int]
+    hosts: Dict[Address, Host] = field(default_factory=dict)
+    is_infrastructure: bool = False
+
+    def responsive_hosts(self) -> List[Host]:
+        return [h for h in self.hosts.values() if h.responds_to_ping]
+
+
+@dataclass
+class ProbeOutcome:
+    """Everything the simulator knows about one probe's fate.
+
+    The ``*_router_path`` fields are ground truth that no real
+    measurement system gets to see; tests and the "optimal" baselines
+    of the experiments use them, the revtr pipeline never does.
+    """
+
+    delivered: bool = False
+    responder: Optional[Address] = None
+    echo: Optional[EchoReply] = None
+    te_reply: Optional[TracerouteReply] = None
+    forward_router_path: List[int] = field(default_factory=list)
+    reply_router_path: List[int] = field(default_factory=list)
+    drop_reason: Optional[str] = None
+
+
+class Internet:
+    """Container for the generated topology plus the forwarding engine."""
+
+    def __init__(
+        self,
+        config: TopologyConfig,
+        graph: ASGraph,
+        policy: RoutingPolicy,
+    ) -> None:
+        self.config = config
+        self.graph = graph
+        self.policy = policy
+
+        self.routers: Dict[int, Router] = {}
+        self.routers_by_as: Dict[int, List[int]] = {}
+        self.hosts: Dict[Address, Host] = {}
+        self.prefixes: Dict[Prefix, PrefixInfo] = {}
+        self.prefix_table = PrefixTable()
+
+        #: interface address -> owning router id
+        self.iface_owner: Dict[Address, int] = {}
+        #: interface address -> router to route toward (differs from the
+        #: owner when an interdomain /30 is numbered from the far side)
+        self.iface_anchor: Dict[Address, int] = {}
+        #: directed adjacency: router -> neighbour router ->
+        #: (egress addr on router, ingress addr on neighbour)
+        self.adjacency: Dict[int, Dict[int, Tuple[Address, Address]]] = {}
+        #: intra-AS router adjacency lists
+        self.intra_adj: Dict[int, List[int]] = {}
+        #: asn -> neighbour asn -> [(local border, remote border)]
+        self.borders: Dict[int, Dict[int, List[Tuple[int, int]]]] = {}
+        #: announcement overrides (traffic engineering); default is
+        #: a unicast announcement from the prefix's origin AS
+        self.announcements: Dict[Prefix, AnnouncementSpec] = {}
+        #: anycast delivery points: prefix -> origin asn -> edge router
+        self.anycast_anchors: Dict[Prefix, Dict[int, int]] = {}
+
+        self.mlab_hosts: List[Address] = []
+        self.atlas_hosts: List[Address] = []
+
+        self._rng = random.Random(config.seed ^ 0x5EED)
+        self._ipid_counters: Dict[Address, int] = {}
+        self._intra_next: Dict[Tuple[int, int], Dict[int, List[int]]] = {}
+        self._intra_dist: Dict[Tuple[int, int], Dict[int, int]] = {}
+        self._alt_next_as: Dict[Tuple[int, AnnouncementSpec], Optional[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers (used by the generator)
+    # ------------------------------------------------------------------
+
+    def add_router(self, router: Router) -> None:
+        self.routers[router.router_id] = router
+        self.routers_by_as.setdefault(router.asn, []).append(
+            router.router_id
+        )
+
+    def add_host(self, host: Host) -> None:
+        self.hosts[host.addr] = host
+
+    def register_prefix(self, info: PrefixInfo) -> None:
+        self.prefixes[info.prefix] = info
+        self.prefix_table.insert(info.prefix, info)
+
+    def register_interface(
+        self, addr: Address, owner: int, anchor: Optional[int] = None
+    ) -> None:
+        self.iface_owner[addr] = owner
+        self.iface_anchor[addr] = owner if anchor is None else anchor
+
+    def connect(
+        self,
+        a: int,
+        b: int,
+        addr_a: Address,
+        addr_b: Address,
+    ) -> None:
+        """Record a bidirectional /30 link between routers *a* and *b*."""
+        self.adjacency.setdefault(a, {})[b] = (addr_a, addr_b)
+        self.adjacency.setdefault(b, {})[a] = (addr_b, addr_a)
+        router_a, router_b = self.routers[a], self.routers[b]
+        if router_a.asn == router_b.asn:
+            self.intra_adj.setdefault(a, []).append(b)
+            self.intra_adj.setdefault(b, []).append(a)
+        else:
+            self.borders.setdefault(router_a.asn, {}).setdefault(
+                router_b.asn, []
+            ).append((a, b))
+            self.borders.setdefault(router_b.asn, {}).setdefault(
+                router_a.asn, []
+            ).append((b, a))
+
+    def finalize(self) -> None:
+        """Sort adjacency lists for deterministic candidate ordering."""
+        for neighbors in self.intra_adj.values():
+            neighbors.sort()
+        for by_neighbor in self.borders.values():
+            for pairs in by_neighbor.values():
+                pairs.sort()
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+
+    def router_of(self, addr: Address) -> Optional[Router]:
+        """Return the router owning interface *addr*, if any."""
+        owner = self.iface_owner.get(addr)
+        return None if owner is None else self.routers[owner]
+
+    def prefix_info(self, addr: Address) -> Optional[PrefixInfo]:
+        info = self.prefix_table.lookup(addr)
+        return info  # type: ignore[return-value]
+
+    def host_prefixes(self) -> List[PrefixInfo]:
+        """All announced prefixes that contain hosts."""
+        return [
+            info
+            for info in self.prefixes.values()
+            if not info.is_infrastructure
+        ]
+
+    def announcement_for(self, addr: Address) -> Optional[AnnouncementSpec]:
+        """Return the announcement governing routes toward *addr*."""
+        prefix = self.prefix_table.lookup_prefix(addr)
+        if prefix is None:
+            return None
+        spec = self.announcements.get(prefix)
+        if spec is not None:
+            return spec
+        info = self.prefixes[prefix]
+        return AnnouncementSpec.single(info.origin_asn)
+
+    def asn_of_address(self, addr: Address) -> Optional[int]:
+        """Ground-truth AS of an address (owner router or host AS)."""
+        router = self.router_of(addr)
+        if router is not None:
+            return router.asn
+        host = self.hosts.get(addr)
+        if host is not None:
+            return host.asn
+        return None
+
+    # ------------------------------------------------------------------
+    # Destination resolution
+    # ------------------------------------------------------------------
+
+    def resolve(self, dst: Address) -> Optional[DestTarget]:
+        """Resolve a destination address to its delivery target(s)."""
+        host = self.hosts.get(dst)
+        if host is not None:
+            prefix = self.prefix_table.lookup_prefix(dst)
+            anchors = {host.asn: host.edge_router_id}
+            if prefix is not None and prefix in self.anycast_anchors:
+                anchors = dict(self.anycast_anchors[prefix])
+            return DestTarget(
+                dst=dst, anchors=anchors, host=host, owner_router=None
+            )
+        owner = self.iface_owner.get(dst)
+        if owner is not None:
+            anchor = self.iface_anchor[dst]
+            anchor_asn = self.routers[anchor].asn
+            iface = self.routers[owner].interfaces.get(dst)
+            endpoints = None
+            if iface is not None and iface.neighbor_router_id is not None:
+                endpoints = (owner, iface.neighbor_router_id)
+            return DestTarget(
+                dst=dst,
+                anchors={anchor_asn: anchor},
+                host=None,
+                owner_router=owner,
+                link_endpoints=endpoints,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Intra-AS shortest-path machinery
+    # ------------------------------------------------------------------
+
+    def intra_next_hops(
+        self, asn: int, target: int, router: int
+    ) -> List[int]:
+        """Equal-cost next hops of *router* toward *target* within *asn*."""
+        table = self._intra_table(asn, target)
+        return table.get(router, [])
+
+    def intra_distance(self, asn: int, target: int, router: int) -> int:
+        """IGP hop distance, or a large value if unreachable."""
+        key = (asn, target)
+        if key not in self._intra_dist:
+            self._intra_table(asn, target)
+        return self._intra_dist[key].get(router, 1 << 30)
+
+    def _intra_table(self, asn: int, target: int) -> Dict[int, List[int]]:
+        key = (asn, target)
+        cached = self._intra_next.get(key)
+        if cached is not None:
+            return cached
+        dist: Dict[int, int] = {target: 0}
+        frontier = [target]
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for neighbor in self.intra_adj.get(node, []):
+                    if neighbor not in dist:
+                        dist[neighbor] = dist[node] + 1
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        table: Dict[int, List[int]] = {}
+        for node, d in dist.items():
+            if node == target:
+                continue
+            table[node] = sorted(
+                n
+                for n in self.intra_adj.get(node, [])
+                if dist.get(n, 1 << 30) == d - 1
+            )
+        self._intra_next[key] = table
+        self._intra_dist[key] = dist
+        return table
+
+    # ------------------------------------------------------------------
+    # AS-level helpers
+    # ------------------------------------------------------------------
+
+    def alt_next_as(
+        self, asn: int, spec: AnnouncementSpec
+    ) -> Optional[int]:
+        """A loop-safe alternate next-hop AS, for DBR-violating borders."""
+        key = (asn, spec)
+        if key in self._alt_next_as:
+            return self._alt_next_as[key]
+        routes = self.policy.routes(spec)
+        best = routes.get(asn)
+        result: Optional[int] = None
+        if best is not None and best.next_as is not None:
+            candidates = []
+            for neighbor in self.graph.nodes[asn].neighbors:
+                if neighbor == best.next_as:
+                    continue
+                route = routes.get(neighbor)
+                if route is None or asn in route.path:
+                    continue
+                candidates.append(neighbor)
+            if candidates:
+                candidates.sort(
+                    key=lambda v: zlib.crc32(f"{asn}>{v}".encode())
+                )
+                result = candidates[0]
+        self._alt_next_as[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # The packet walker
+    # ------------------------------------------------------------------
+
+    def send_probe(self, probe: Probe) -> ProbeOutcome:
+        """Inject *probe* and simulate it to completion."""
+        outcome = ProbeOutcome()
+        origin_host = self.hosts.get(probe.injected_at)
+        if origin_host is None:
+            outcome.drop_reason = "unknown-injection-point"
+            return outcome
+        if probe.is_spoofed and not self.graph.nodes[
+            origin_host.asn
+        ].allows_spoofing:
+            outcome.drop_reason = "spoof-filtered"
+            return outcome
+
+        target = self.resolve(probe.dst)
+        if target is None:
+            outcome.drop_reason = "unreachable-destination"
+            return outcome
+        spec = self.announcement_for(probe.dst)
+        if spec is None:
+            outcome.drop_reason = "no-announcement"
+            return outcome
+
+        rr = probe.record_route
+        ts = probe.timestamp
+        delivered, responder_addr, hop_count, path, te = self._walk(
+            start_router=origin_host.edge_router_id,
+            target=target,
+            spec=spec,
+            probe=probe,
+            rr=rr,
+            ts=ts,
+            ttl=probe.ttl,
+        )
+        outcome.forward_router_path = path
+        if te is not None:
+            outcome.te_reply = te
+            return outcome
+        if not delivered or responder_addr is None:
+            outcome.drop_reason = "forward-path-drop"
+            return outcome
+
+        # Destination responsiveness and its own option processing.
+        if not self._destination_responds(responder_addr, probe):
+            outcome.drop_reason = "destination-unresponsive"
+            return outcome
+        self._destination_stamp(responder_addr, probe, rr, ts)
+
+        # Route the echo reply back to the probe's source address.
+        reply_target = self.resolve(probe.src)
+        reply_spec = self.announcement_for(probe.src)
+        if reply_target is None or reply_spec is None:
+            outcome.drop_reason = "reply-unroutable"
+            return outcome
+        reply_probe = Probe(
+            src=responder_addr,
+            dst=probe.src,
+            kind=probe.kind,
+            flow_id=probe.flow_id,
+            record_route=rr,
+            timestamp=ts,
+        )
+        start = self._reply_start_router(responder_addr)
+        delivered, _, reply_hops, reply_path, _ = self._walk(
+            start_router=start,
+            target=reply_target,
+            spec=reply_spec,
+            probe=reply_probe,
+            rr=rr,
+            ts=ts,
+            ttl=None,
+        )
+        outcome.reply_router_path = reply_path
+        if not delivered:
+            outcome.drop_reason = "reply-path-drop"
+            return outcome
+
+        latency = self.config.link_latency_ms / 1000.0
+        rtt = (hop_count + reply_hops + 2) * latency
+        outcome.delivered = True
+        outcome.responder = responder_addr
+        outcome.echo = EchoReply(
+            src=responder_addr,
+            dst=probe.src,
+            responder=responder_addr,
+            record_route=rr,
+            timestamp=ts,
+            rtt=rtt,
+            ipid=self._next_ipid(responder_addr),
+        )
+        return outcome
+
+    def _next_ipid(self, responder: Address) -> int:
+        """IP-ID of a reply: shared per-router counter when the router
+        uses a single counter across interfaces (what MIDAR exploits),
+        independent per-address counters otherwise."""
+        router = self.router_of(responder)
+        if router is not None and router.ipid_shared:
+            return router.next_ipid()
+        counter = self._ipid_counters.get(responder, 0)
+        counter = (counter + 1) & 0xFFFF
+        self._ipid_counters[responder] = counter
+        return counter
+
+    # -- walk internals -------------------------------------------------
+
+    def _walk(
+        self,
+        start_router: int,
+        target: DestTarget,
+        spec: AnnouncementSpec,
+        probe: Probe,
+        rr: Optional[RecordRouteOption],
+        ts: Optional[TimestampOption],
+        ttl: Optional[int],
+    ) -> Tuple[bool, Optional[Address], int, List[int], Optional[TracerouteReply]]:
+        """Walk from *start_router* toward *target*.
+
+        Returns (delivered, responder_addr, hops, router_path, te_reply).
+        """
+        current = start_router
+        ingress_addr: Optional[Address] = None
+        hops = 0
+        path: List[int] = []
+        visited: set = set()
+        latency = self.config.link_latency_ms / 1000.0
+
+        while hops < MAX_HOPS:
+            router = self.routers[current]
+            first_visit = current not in visited
+            visited.add(current)
+            hops += 1
+            path.append(current)
+
+            # TTL expiry check (the router that decrements to zero).
+            if ttl is not None and hops == ttl:
+                if target.owner_router == current or (
+                    target.host is None and router.owns(target.dst)
+                ):
+                    te = TracerouteReply(
+                        ttl=ttl,
+                        hop_addr=target.dst,
+                        rtt=2 * hops * latency,
+                        reached=True,
+                    )
+                    return False, None, hops, path, te
+                reply_addr = router.traceroute_reply_address(ingress_addr)
+                te = TracerouteReply(
+                    ttl=ttl,
+                    hop_addr=reply_addr,
+                    rtt=2 * hops * latency,
+                    reached=False,
+                )
+                return False, None, hops, path, te
+
+            # Delivery checks.
+            if router.owns(target.dst):
+                return True, target.dst, hops, path, None
+            if (
+                target.host is not None
+                and router.asn in target.anchors
+                and target.anchors[router.asn] == current
+            ):
+                # Edge router hands the packet to the host's LAN.
+                self._transit_stamp(router, ingress_addr, None, rr, ts)
+                return True, target.dst, hops, path, None
+
+            # Compute next hop.
+            try:
+                next_router = self._next_hop(
+                    router, target, spec, probe, first_visit
+                )
+            except ForwardingError:
+                return False, None, hops, path, None
+            if next_router is None:
+                return False, None, hops, path, None
+
+            egress_addr, next_ingress = self.adjacency[current][next_router]
+            self._transit_stamp(router, ingress_addr, egress_addr, rr, ts)
+            ingress_addr = next_ingress
+            current = next_router
+
+        return False, None, hops, path, None
+
+    def _next_hop(
+        self,
+        router: Router,
+        target: DestTarget,
+        spec: AnnouncementSpec,
+        probe: Probe,
+        first_visit: bool = True,
+    ) -> Optional[int]:
+        """One forwarding decision; raises ForwardingError on dead ends.
+
+        ``first_visit`` guards the AS-level DBR-violation deviation:
+        two deviating routers can otherwise bounce a packet between
+        their ASes forever; on a re-visit the router falls back to its
+        best route, which is loop-free by the tree property.
+        """
+        current = router.router_id
+        asn = router.asn
+
+        if target.owner_router is not None:
+            owner = target.owner_router
+            # We are the far endpoint of the destination's /30: the
+            # subnet is directly connected, deliver across the link.
+            if (
+                target.link_endpoints is not None
+                and current in target.link_endpoints
+                and owner in self.adjacency.get(current, {})
+            ):
+                return owner
+            # Interdomain misnumbered iface: any router adjacent to the
+            # owner in a different AS has the /30 as a connected route.
+            if (
+                owner in self.adjacency.get(current, {})
+                and self.routers[owner].asn != asn
+            ):
+                return owner
+
+        if asn in target.anchors:
+            anchor = target.anchors[asn]
+            # Link interfaces are routed to the *nearest* endpoint of
+            # their /30 inside this AS (IGP connected-subnet routing).
+            intra_target = anchor
+            if target.link_endpoints is not None:
+                local = [
+                    e
+                    for e in target.link_endpoints
+                    if self.routers[e].asn == asn
+                ]
+                if local:
+                    intra_target = min(
+                        local,
+                        key=lambda e: (
+                            self.intra_distance(asn, e, current),
+                            e,
+                        ),
+                    )
+            if intra_target == current:
+                owner = target.owner_router
+                if owner is not None and owner in self.adjacency.get(
+                    current, {}
+                ):
+                    return owner
+                raise ForwardingError("anchor cannot deliver")
+            candidates = self.intra_next_hops(asn, intra_target, current)
+            if not candidates:
+                raise ForwardingError("intra-AS target unreachable")
+            return choose_candidate(router, candidates, probe, self._rng)
+
+        # Interdomain step.
+        next_as = self.policy.next_hop_as(asn, spec)
+        if next_as is None:
+            raise ForwardingError("no BGP route")
+        if router.dbr_as_violator and first_visit:
+            alt = self.alt_next_as(asn, spec)
+            if alt is not None:
+                pick = zlib.crc32(
+                    f"{probe.src}|{asn}".encode()
+                ) & 1
+                if pick:
+                    next_as = alt
+        pairs = self.borders.get(asn, {}).get(next_as)
+        if not pairs:
+            raise ForwardingError("no border link to next AS")
+
+        # If we are a border router on one of the candidate links,
+        # egress directly (hot potato at zero cost).
+        own_pairs = [p for p in pairs if p[0] == current]
+        if own_pairs:
+            remotes = sorted(p[1] for p in own_pairs)
+            return choose_candidate(router, remotes, probe, self._rng)
+
+        # Pick an egress border router.
+        if self.graph.nodes[asn].cold_potato:
+            local_border = min(pairs)[0]
+        else:
+            local_border = min(
+                (self.intra_distance(asn, p[0], current), p[0])
+                for p in pairs
+            )[1]
+        candidates = self.intra_next_hops(asn, local_border, current)
+        if not candidates:
+            raise ForwardingError("border unreachable intra-AS")
+        return choose_candidate(router, candidates, probe, self._rng)
+
+    def _transit_stamp(
+        self,
+        router: Router,
+        ingress_addr: Optional[Address],
+        egress_addr: Optional[Address],
+        rr: Optional[RecordRouteOption],
+        ts: Optional[TimestampOption],
+    ) -> None:
+        """Apply in-transit option processing at *router*."""
+        if rr is not None and not rr.is_full():
+            stamp = router.rr_stamp_address(ingress_addr, egress_addr)
+            if stamp is not None:
+                rr.stamp(stamp)
+        if ts is not None and router.supports_timestamp:
+            owned = router.addresses()
+            ts.stamp_if_match(owned, now=1)
+
+    def _destination_responds(self, addr: Address, probe: Probe) -> bool:
+        host = self.hosts.get(addr)
+        if host is not None:
+            if probe.has_options:
+                return host.responds_to_options
+            return host.responds_to_ping
+        router = self.router_of(addr)
+        if router is not None:
+            if probe.has_options:
+                return router.responds_to_options
+            return router.responds_to_ping
+        return False
+
+    def _destination_stamp(
+        self,
+        addr: Address,
+        probe: Probe,
+        rr: Optional[RecordRouteOption],
+        ts: Optional[TimestampOption],
+    ) -> None:
+        """The destination's own stamp before echoing the options back."""
+        if rr is not None and not rr.is_full():
+            host = self.hosts.get(addr)
+            if host is not None:
+                if host.stamps_rr:
+                    rr.stamp(addr)
+            else:
+                router = self.router_of(addr)
+                if router is not None:
+                    stamp = self._router_destination_stamp(router, addr)
+                    if stamp is not None:
+                        rr.stamp(stamp)
+        if ts is not None:
+            router = self.router_of(addr)
+            if router is not None:
+                if router.supports_timestamp:
+                    ts.stamp_if_match(router.addresses(), now=1)
+            else:
+                ts.stamp_if_match([addr], now=1)
+
+    @staticmethod
+    def _router_destination_stamp(
+        router: Router, probed: Address
+    ) -> Optional[Address]:
+        """What a router stamps when it is the probe's destination."""
+        from repro.net.router import RRStampPolicy
+
+        if router.rr_policy is RRStampPolicy.NO_STAMP:
+            return None
+        if router.rr_policy is RRStampPolicy.PRIVATE:
+            return router.private_addr
+        if router.rr_policy is RRStampPolicy.LOOPBACK:
+            return router.loopback or probed
+        return probed
+
+    def _reply_start_router(self, responder: Address) -> int:
+        host = self.hosts.get(responder)
+        if host is not None:
+            return host.edge_router_id
+        return self.iface_owner[responder]
+
+    # ------------------------------------------------------------------
+    # Ground-truth conveniences (for tests and oracle baselines only)
+    # ------------------------------------------------------------------
+
+    def ground_truth_router_path(
+        self, src: Address, dst: Address, flow_id: int = 0
+    ) -> List[int]:
+        """Router-id path a plain packet takes from *src* to *dst*."""
+        probe = Probe(src=src, dst=dst, flow_id=flow_id)
+        outcome = self.send_probe(probe)
+        return outcome.forward_router_path
+
+    def invalidate_routing(self) -> None:
+        """Drop routing caches after announcement changes (TE)."""
+        self.policy.invalidate()
+        self._alt_next_as.clear()

@@ -1,0 +1,33 @@
+"""Synthetic Internet topology generation.
+
+Builds the substrate the paper's system measures: an AS-level graph with
+business relationships and Gao-Rexford policy routing, router-level
+intra-AS topologies with /30 point-to-point links, BGP prefixes with
+hosts, and the measurement-infrastructure overlays (M-Lab-like vantage
+point sites, RIPE-Atlas-like probes).
+"""
+
+from repro.topology.asgraph import ASGraph, ASNode, ASTier, Relationship
+from repro.topology.config import TopologyConfig
+from repro.topology.policy import AnnouncementSpec, RouteChoice, RoutingPolicy
+
+
+def build_internet(config=None):
+    """Generate a simulated Internet (lazy import to avoid a cycle:
+    the generator needs :mod:`repro.sim.network`, which needs this
+    package's AS-graph types)."""
+    from repro.topology.generator import build_internet as _build
+
+    return _build(config)
+
+__all__ = [
+    "ASGraph",
+    "ASNode",
+    "ASTier",
+    "Relationship",
+    "TopologyConfig",
+    "build_internet",
+    "AnnouncementSpec",
+    "RouteChoice",
+    "RoutingPolicy",
+]

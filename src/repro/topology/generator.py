@@ -1,0 +1,578 @@
+"""Synthetic Internet generator.
+
+Builds an :class:`repro.sim.network.Internet` from a
+:class:`~repro.topology.config.TopologyConfig`:
+
+1. an AS graph with a tier-1 clique, transit providers, stub edge
+   networks, cold-potato NRENs, and vantage-point (M-Lab-like) site
+   ASes homed into the core;
+2. router-level intra-AS topologies (ring plus chords) with /30
+   point-to-point links, numbered from per-AS infrastructure prefixes —
+   interdomain links are numbered from a random side's space, which is
+   what makes prefix-ingress identification non-trivial (Fig. 4);
+3. announced BGP prefixes with hosts whose responsiveness follows the
+   paper's measured population statistics;
+4. per-router measurement behaviour: RR stamping policy mix, SNMPv3
+   responders, timestamp support, load balancers, and
+   destination-based-routing violators.
+
+Everything is driven by a single seeded RNG: the same config yields the
+same Internet, byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addr import Address, Prefix, int_to_addr
+from repro.net.host import Host
+from repro.net.router import InterfaceRole, Router, RRStampPolicy
+from repro.sim.network import Internet, PrefixInfo
+from repro.topology.asgraph import ASGraph, ASTier, Relationship
+from repro.topology.config import TopologyConfig
+from repro.topology.policy import RoutingPolicy
+
+#: /18 of address space per AS.
+_BLOCK_BITS = 14
+#: /24 index (within the /18) where the infrastructure /22 begins.
+_INFRA_SLOT = 60
+
+_FIRST_ASN = 100
+
+
+class _Allocator:
+    """Per-AS address allocation bookkeeping."""
+
+    def __init__(self, config: TopologyConfig, index: int) -> None:
+        self.block = (config.base_octet << 24) + (index << _BLOCK_BITS)
+        self.infra_base = self.block + (_INFRA_SLOT << 8)
+        self._next_loopback = self.infra_base + 1
+        self._next_link = self.infra_base + 256
+        self._link_limit = self.infra_base + 4 * 256
+
+    def host_prefix(self, slot: int) -> Prefix:
+        if slot >= _INFRA_SLOT:
+            raise ValueError("host prefix slot collides with infra")
+        return Prefix(self.block + (slot << 8), 24)
+
+    def infra_prefix(self) -> Prefix:
+        return Prefix(self.infra_base, 22)
+
+    def loopback(self) -> Address:
+        addr = int_to_addr(self._next_loopback)
+        self._next_loopback += 1
+        return addr
+
+    def link_pair(self) -> Tuple[Address, Address]:
+        """Allocate the two usable addresses of a fresh /30."""
+        if self._next_link + 4 > self._link_limit:
+            raise RuntimeError("AS ran out of /30 link space")
+        base = self._next_link
+        self._next_link += 4
+        return int_to_addr(base + 1), int_to_addr(base + 2)
+
+    def lan_pair(self) -> Tuple[Address, Address]:
+        """Allocate two link addresses that are NOT /30 peers.
+
+        Models switch-fabric / LAN interconnects whose interface
+        addresses carry no point-to-point relationship — invisible to
+        the Appendix B.1 alias heuristic.
+        """
+        if self._next_link + 8 > self._link_limit:
+            raise RuntimeError("AS ran out of link space")
+        base = self._next_link
+        self._next_link += 8
+        # Offsets 1 and 5 sit in different /30s of the same /29.
+        return int_to_addr(base + 1), int_to_addr(base + 5)
+
+
+def build_internet(config: Optional[TopologyConfig] = None) -> Internet:
+    """Generate a complete simulated Internet."""
+    if config is None:
+        config = TopologyConfig()
+    builder = _Builder(config)
+    return builder.build()
+
+
+class _Builder:
+    def __init__(self, config: TopologyConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.graph = ASGraph()
+        self.allocators: Dict[int, _Allocator] = {}
+        self.tier1: List[int] = []
+        self.transits: List[int] = []
+        self.stubs: List[int] = []
+        self.nrens: List[int] = []
+        self.mlabs: List[int] = []
+        self._next_index = 0
+        self._next_router_id = 0
+
+    # -- AS-level -------------------------------------------------------
+
+    def _new_asn(self) -> Tuple[int, int]:
+        index = self._next_index
+        self._next_index += 1
+        return _FIRST_ASN + index, index
+
+    def _make_as(
+        self,
+        tier: ASTier,
+        cold_potato: bool = False,
+        allows_spoofing: bool = True,
+    ) -> int:
+        asn, index = self._new_asn()
+        self.graph.add_as(
+            asn,
+            tier,
+            cold_potato=cold_potato,
+            allows_spoofing=allows_spoofing,
+        )
+        self.allocators[asn] = _Allocator(self.config, index)
+        return asn
+
+    def _build_as_graph(self) -> None:
+        cfg, rng = self.config, self.rng
+
+        for _ in range(cfg.n_tier1):
+            self.tier1.append(self._make_as(ASTier.TIER1))
+        for a_idx, a in enumerate(self.tier1):
+            for b in self.tier1[a_idx + 1:]:
+                self.graph.add_edge(a, b, Relationship.PEER)
+
+        for _ in range(cfg.n_transit):
+            asn = self._make_as(ASTier.TRANSIT)
+            if self.transits and rng.random() < 0.45:
+                # Regional transit: customer of earlier transits only,
+                # deepening the hierarchy below the tier-1 clique.
+                providers = rng.sample(
+                    self.transits, k=min(len(self.transits), 2)
+                )
+            else:
+                providers = rng.sample(
+                    self.tier1, k=min(len(self.tier1), rng.randint(1, 2))
+                )
+                if self.transits and rng.random() < 0.3:
+                    providers.append(rng.choice(self.transits))
+            for provider in set(providers):
+                self.graph.add_edge(provider, asn, Relationship.CUSTOMER)
+            self.transits.append(asn)
+        # Transit-transit peering (density scales with flattening).
+        degree = max(
+            0, round(cfg.transit_peering_degree * cfg.flattening)
+        )
+        for asn in self.transits:
+            others = [t for t in self.transits if t != asn]
+            for peer in rng.sample(others, k=min(degree, len(others))):
+                if not self.graph.has_edge(asn, peer):
+                    self.graph.add_edge(asn, peer, Relationship.PEER)
+
+        for _ in range(cfg.n_nren):
+            asn = self._make_as(ASTier.NREN, cold_potato=True)
+            provider = rng.choice(self.tier1)
+            self.graph.add_edge(provider, asn, Relationship.CUSTOMER)
+            for other in self.nrens:
+                self.graph.add_edge(asn, other, Relationship.PEER)
+            self.nrens.append(asn)
+
+        for _ in range(cfg.n_stub):
+            spoof_ok = rng.random() >= cfg.spoof_filter_rate
+            asn = self._make_as(ASTier.STUB, allows_spoofing=spoof_ok)
+            provider = rng.choice(self.transits or self.tier1)
+            self.graph.add_edge(provider, asn, Relationship.CUSTOMER)
+            if rng.random() < cfg.stub_multihoming:
+                # Multihomed edge: backup transit from a tier-1, but
+                # all outbound traffic prefers the (cheaper) regional
+                # provider via local-pref. Inbound, remote networks
+                # often reach the stub through the better-connected
+                # tier-1 — the classic inbound/outbound divergence
+                # behind the paper's 57% interdomain symmetry (§4.4).
+                pool = self.tier1 + self.transits
+                second = rng.choice(pool)
+                if second != provider and not self.graph.has_edge(
+                    second, asn
+                ):
+                    self.graph.add_edge(second, asn, Relationship.CUSTOMER)
+                    self.graph.nodes[asn].neighbor_pref[provider] = 100
+            # Flattening: direct stub peering shortcuts.
+            if self.stubs and rng.random() < 0.08 * cfg.flattening:
+                peer = rng.choice(self.stubs)
+                if not self.graph.has_edge(asn, peer):
+                    self.graph.add_edge(asn, peer, Relationship.PEER)
+            self.stubs.append(asn)
+
+        for site_index in range(cfg.n_mlab_sites):
+            spoof_ok = self.rng.random() >= cfg.spoof_filter_rate
+            asn = self._make_as(ASTier.MLAB, allows_spoofing=spoof_ok)
+            is_edu = self.nrens and site_index % 4 == 3
+            if is_edu:
+                nren = rng.choice(self.nrens)
+                self.graph.add_edge(nren, asn, Relationship.CUSTOMER)
+                commercial = rng.choice(self.transits)
+                self.graph.add_edge(
+                    commercial, asn, Relationship.CUSTOMER
+                )
+            else:
+                # Colo-hosted: multihomed straight into the core.
+                providers = rng.sample(
+                    self.tier1, k=min(2, len(self.tier1))
+                )
+                providers.append(rng.choice(self.transits))
+                for provider in set(providers):
+                    self.graph.add_edge(
+                        provider, asn, Relationship.CUSTOMER
+                    )
+                # Flattening-era peering out of the colo facility:
+                # with transit networks and directly with edge networks
+                # (what moved destinations closer to VPs, Fig. 11).
+                n_peers = round(3 * cfg.flattening)
+                for peer in rng.sample(
+                    self.transits, k=min(n_peers, len(self.transits))
+                ):
+                    if not self.graph.has_edge(asn, peer):
+                        self.graph.add_edge(asn, peer, Relationship.PEER)
+                n_stub_peers = round(9 * cfg.flattening)
+                for peer in rng.sample(
+                    self.stubs, k=min(n_stub_peers, len(self.stubs))
+                ):
+                    if not self.graph.has_edge(asn, peer):
+                        self.graph.add_edge(asn, peer, Relationship.PEER)
+            self.mlabs.append(asn)
+
+        self.graph.validate()
+
+    # -- router-level -----------------------------------------------------
+
+    def _routers_for(self, asn: int) -> int:
+        tier = self.graph.nodes[asn].tier
+        cfg = self.config
+        if tier is ASTier.TIER1:
+            return cfg.routers_per_tier1
+        if tier in (ASTier.TRANSIT, ASTier.NREN):
+            return cfg.routers_per_transit
+        if tier is ASTier.MLAB:
+            return 1
+        # Stub access chains vary in depth: shallow stubs sit within
+        # easy record-route range, deep ones fall off the 9-slot cliff
+        # — reproducing the spread of Fig. 11.
+        return self.rng.randint(
+            max(1, cfg.stub_chain_min), max(1, cfg.stub_chain_max)
+        )
+
+    def _sample_rr_policy(self) -> RRStampPolicy:
+        cfg, roll = self.config, self.rng.random()
+        if roll < cfg.router_no_stamp:
+            return RRStampPolicy.NO_STAMP
+        roll -= cfg.router_no_stamp
+        if roll < cfg.router_private_stamp:
+            return RRStampPolicy.PRIVATE
+        roll -= cfg.router_private_stamp
+        if roll < cfg.router_loopback_stamp:
+            return RRStampPolicy.LOOPBACK
+        roll -= cfg.router_loopback_stamp
+        if roll < cfg.router_ingress_stamp:
+            return RRStampPolicy.INGRESS
+        return RRStampPolicy.EGRESS
+
+    def _make_router(self, internet: Internet, asn: int, index: int) -> Router:
+        cfg, rng = self.config, self.rng
+        as_index = asn - _FIRST_ASN
+        # Router ids are assigned per build (not from the process-wide
+        # default counter) so identical configs yield identical ids —
+        # ids feed deterministic tie-breaks in the forwarding engine.
+        router_id = self._next_router_id
+        self._next_router_id += 1
+        router = Router(
+            router_id=router_id,
+            asn=asn,
+            rr_policy=self._sample_rr_policy(),
+            responds_to_options=rng.random() < 0.92,
+            responds_to_ttl=rng.random() >= cfg.router_ttl_unresponsive,
+            snmpv3_responsive=rng.random() < cfg.router_snmpv3,
+            supports_timestamp=rng.random() < cfg.router_ts_support,
+            ipid_shared=rng.random() < 0.75,
+            is_load_balancer=rng.random() < cfg.load_balancer_rate,
+            dbr_violator=rng.random() < cfg.dbr_violation_rate,
+            private_addr=(
+                f"10.{(as_index >> 8) & 255}.{as_index & 255}.{index + 1}"
+            ),
+        )
+        # AS-path-affecting violators are a small subset of violators
+        # (Appendix E: 6.6% of hops violate, ~1% affect the AS path;
+        # §5.2.2 finds only 1.5% of whole paths wrong).
+        router.dbr_as_violator = (
+            router.dbr_violator and rng.random() < 0.08
+        )
+        # MPLS-style hidden routers: invisible to traceroute and
+        # silent in record route (§5.2.2's missing-hop causes).
+        if rng.random() < cfg.mpls_hidden_rate:
+            router.responds_to_ttl = False
+            router.rr_policy = RRStampPolicy.NO_STAMP
+        # A vantage point's first-hop router must behave classically so
+        # measurements are not confounded at hop zero.
+        if self.graph.nodes[asn].tier is ASTier.MLAB:
+            router.rr_policy = RRStampPolicy.EGRESS
+            router.dbr_violator = False
+            router.dbr_as_violator = False
+            router.is_load_balancer = False
+            router.responds_to_ttl = True
+            router.responds_to_options = True
+        router._ipid = rng.randint(0, 30000)
+        loopback = self.allocators[asn].loopback()
+        router.add_interface(loopback, InterfaceRole.LOOPBACK)
+        internet.add_router(router)
+        internet.register_interface(loopback, router.router_id)
+        return router
+
+    def _link(
+        self,
+        internet: Internet,
+        a: Router,
+        b: Router,
+        numbering_asn: int,
+    ) -> None:
+        """Create a link between *a* and *b* from *numbering_asn*'s space.
+
+        Intra-AS links are a mix of /30 point-to-point subnets and
+        LAN-fabric links whose addresses defeat /30 alias pairing.
+        """
+        allocator = self.allocators[numbering_asn]
+        if (
+            a.asn == b.asn
+            and self.rng.random() < self.config.lan_link_fraction
+        ):
+            addr_a, addr_b = allocator.lan_pair()
+        else:
+            addr_a, addr_b = allocator.link_pair()
+        a.add_interface(addr_a, InterfaceRole.LINK, b.router_id)
+        b.add_interface(addr_b, InterfaceRole.LINK, a.router_id)
+        anchor_a = a.router_id if a.asn == numbering_asn else b.router_id
+        anchor_b = b.router_id if b.asn == numbering_asn else a.router_id
+        internet.register_interface(addr_a, a.router_id, anchor_a)
+        internet.register_interface(addr_b, b.router_id, anchor_b)
+        internet.connect(a.router_id, b.router_id, addr_a, addr_b)
+
+    def _build_routers(self, internet: Internet) -> None:
+        rng = self.rng
+        routers_of: Dict[int, List[Router]] = {}
+        for asn in self.graph.asns():
+            count = self._routers_for(asn)
+            routers = [
+                self._make_router(internet, asn, i) for i in range(count)
+            ]
+            routers_of[asn] = routers
+            tier = self.graph.nodes[asn].tier
+            if tier is ASTier.STUB:
+                # Access-network chain: border router at the head,
+                # aggregation and edge routers down the chain. This is
+                # what puts many destinations beyond record-route range
+                # of any vantage point (Appendix F's 37%).
+                for i in range(count - 1):
+                    self._link(internet, routers[i], routers[i + 1], asn)
+            else:
+                # Core/transit mesh: ring plus chords for ECMP paths.
+                if count >= 2:
+                    for i in range(count):
+                        j = (i + 1) % count
+                        if count == 2 and i == 1:
+                            break
+                        self._link(internet, routers[i], routers[j], asn)
+                if count >= 5:
+                    self._link(
+                        internet, routers[0], routers[count // 2], asn
+                    )
+                if count >= 7:
+                    self._link(
+                        internet, routers[1], routers[1 + count // 2], asn
+                    )
+
+        # Interdomain links: one /30 per AS adjacency, border routers
+        # picked at random, numbered from a random side's space.
+        done = set()
+        for asn in self.graph.asns():
+            for neighbor in self.graph.nodes[asn].neighbors:
+                key = (min(asn, neighbor), max(asn, neighbor))
+                if key in done:
+                    continue
+                done.add(key)
+                local = self._border_router(asn, routers_of[asn])
+                remote = self._border_router(
+                    neighbor, routers_of[neighbor]
+                )
+                numbering = self._link_numbering(asn, neighbor)
+                self._link(internet, local, remote, numbering)
+                # Big interconnects get a second link between a
+                # *different* router pair (real tier-1 adjacencies
+                # peer in several cities), so hot-potato egress
+                # selection has genuine choices.
+                if self._wants_parallel_link(asn, neighbor):
+                    local2 = self._border_router(
+                        asn, routers_of[asn]
+                    )
+                    remote2 = self._border_router(
+                        neighbor, routers_of[neighbor]
+                    )
+                    if (
+                        local2.router_id != local.router_id
+                        or remote2.router_id != remote.router_id
+                    ) and remote2.router_id not in internet.adjacency.get(
+                        local2.router_id, {}
+                    ):
+                        self._link(
+                            internet, local2, remote2, numbering
+                        )
+        self._routers_of = routers_of
+
+    def _wants_parallel_link(self, a: int, b: int) -> bool:
+        tiers = {
+            self.graph.nodes[a].tier,
+            self.graph.nodes[b].tier,
+        }
+        if ASTier.TIER1 not in tiers:
+            return False
+        if tiers - {ASTier.TIER1, ASTier.TRANSIT}:
+            return False
+        return self.rng.random() < self.config.parallel_link_rate
+
+    def _link_numbering(self, a: int, b: int) -> int:
+        """Pick which AS's space numbers an interdomain /30.
+
+        Customer-provider links are numbered from the customer's space
+        (so prefix-origin IP-to-AS mapping sees the domain boundary at
+        the edge, as the paper's layered mapping does); peering links
+        are numbered from a random side, preserving the Fig. 4
+        ambiguity the ingress heuristics must cope with.
+        """
+        rel = self.graph.relationship(a, b)
+        if rel is Relationship.CUSTOMER:
+            return b  # b is a's customer
+        if rel is Relationship.PROVIDER:
+            return a
+        return self.rng.choice((a, b))
+
+    def _border_router(self, asn: int, routers: List[Router]) -> Router:
+        """Pick the router that terminates an interdomain link.
+
+        Stub access chains peer at their head router; everyone else
+        uses a random core router.
+        """
+        if self.graph.nodes[asn].tier is ASTier.STUB:
+            return routers[0]
+        return self.rng.choice(routers)
+
+    # -- prefixes and hosts ----------------------------------------------
+
+    def _prefix_count(self, asn: int) -> int:
+        tier = self.graph.nodes[asn].tier
+        cfg = self.config
+        if tier is ASTier.STUB:
+            return cfg.prefixes_per_stub
+        if tier is ASTier.MLAB:
+            return 1
+        return cfg.prefixes_per_transit
+
+    def _build_prefixes(self, internet: Internet) -> None:
+        cfg, rng = self.config, self.rng
+        for asn in self.graph.asns():
+            allocator = self.allocators[asn]
+            routers = self._routers_of[asn]
+            tier = self.graph.nodes[asn].tier
+
+            infra = allocator.infra_prefix()
+            internet.register_prefix(
+                PrefixInfo(
+                    prefix=infra,
+                    origin_asn=asn,
+                    edge_router_id=routers[0].router_id,
+                    is_infrastructure=True,
+                )
+            )
+
+            for slot in range(self._prefix_count(asn)):
+                prefix = allocator.host_prefix(slot)
+                if tier is ASTier.STUB:
+                    # Host subnets hang off the far end of the access
+                    # chain, away from the border.
+                    edge = routers[-(1 + slot % len(routers))]
+                else:
+                    edge = routers[slot % len(routers)]
+                info = PrefixInfo(
+                    prefix=prefix,
+                    origin_asn=asn,
+                    edge_router_id=edge.router_id,
+                )
+                if tier is ASTier.MLAB:
+                    host = Host(
+                        addr=prefix.nth(10),
+                        asn=asn,
+                        edge_router_id=edge.router_id,
+                        responds_to_ping=True,
+                        responds_to_options=True,
+                        stamps_rr=True,
+                        is_vantage_point=True,
+                    )
+                    info.hosts[host.addr] = host
+                    internet.add_host(host)
+                    internet.mlab_hosts.append(host.addr)
+                else:
+                    for h in range(cfg.hosts_per_prefix):
+                        ping_ok = rng.random() < cfg.host_ping_responsive
+                        options_ok = (
+                            ping_ok
+                            and rng.random()
+                            < cfg.host_options_responsive_given_ping
+                        )
+                        host = Host(
+                            addr=prefix.nth(10 * (h + 1)),
+                            asn=asn,
+                            edge_router_id=edge.router_id,
+                            responds_to_ping=ping_ok,
+                            responds_to_options=options_ok,
+                            stamps_rr=rng.random() < cfg.host_rr_stamps,
+                        )
+                        info.hosts[host.addr] = host
+                        internet.add_host(host)
+                internet.register_prefix(info)
+
+    def _place_atlas_probes(self, internet: Internet) -> None:
+        """Create RIPE-Atlas-like probes in random stub ASes."""
+        rng = self.rng
+        candidates = list(self.stubs)
+        rng.shuffle(candidates)
+        chosen = candidates[: self.config.n_atlas_probes]
+        for asn in chosen:
+            allocator = self.allocators[asn]
+            prefix = allocator.host_prefix(0)
+            info = internet.prefixes[prefix]
+            edge_id = info.edge_router_id
+            host = Host(
+                addr=prefix.nth(200),
+                asn=asn,
+                edge_router_id=edge_id,
+                responds_to_ping=True,
+                responds_to_options=True,
+                stamps_rr=True,
+                is_vantage_point=True,
+            )
+            info.hosts[host.addr] = host
+            internet.add_host(host)
+            internet.atlas_hosts.append(host.addr)
+
+    # -- assembly ---------------------------------------------------------
+
+    def build(self) -> Internet:
+        self._build_as_graph()
+        policy = RoutingPolicy(
+            self.graph,
+            salt=self.config.seed,
+            symmetric_tiebreak_fraction=(
+                self.config.symmetric_tiebreak_fraction
+            ),
+        )
+        internet = Internet(self.config, self.graph, policy)
+        self._build_routers(internet)
+        self._build_prefixes(internet)
+        self._place_atlas_probes(internet)
+        internet.finalize()
+        return internet

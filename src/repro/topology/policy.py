@@ -1,0 +1,416 @@
+"""Gao-Rexford BGP route computation over the AS graph.
+
+For a given announcement (one or more origin ASes, optional poisoning,
+prepending, and selective-export constraints) this module computes, for
+every AS, the route it selects: learned class, full AS path, next-hop
+AS, and — for anycast announcements — which origin its traffic lands at
+(the *catchment*, the quantity the Section 6.1 traffic-engineering case
+study manipulates).
+
+The computation is the classic three-phase algorithm:
+
+1. customer routes propagate "up" provider edges from the origins;
+2. peer routes are learned in a single hop from ASes holding
+   customer-class routes;
+3. provider routes propagate "down" customer edges from every AS that
+   selected a customer or peer route.
+
+Selection order is customer > peer > provider, then shortest AS path,
+then a deterministic per-(AS, neighbour) tie-break. Because the
+tie-break is not symmetric in its arguments, forward and reverse
+AS paths frequently differ — the asymmetry revtr exists to measure.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.topology.asgraph import ASGraph, Relationship
+
+
+class RouteClass(enum.IntEnum):
+    """Learned class of a route; lower is preferred."""
+
+    ORIGIN = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+
+@dataclass(frozen=True)
+class Origin:
+    """One announcement point of a prefix.
+
+    Attributes:
+        asn: the announcing AS.
+        prepend: extra copies of the origin ASN on the path.
+        announce_to: neighbours the origin announces to; None = all.
+        poisoned: ASNs included on *this origin's* path so those ASes
+            reject routes to this origin but may still reach others —
+            the per-site poisoning of the §6.1 case study (poisoning
+            Cogent on the UFMG announcement only).
+    """
+
+    asn: int
+    prepend: int = 0
+    announce_to: Optional[FrozenSet[int]] = None
+    poisoned: FrozenSet[int] = frozenset()
+
+    def announces_to(self, neighbor: int) -> bool:
+        return self.announce_to is None or neighbor in self.announce_to
+
+
+@dataclass(frozen=True)
+class AnnouncementSpec:
+    """A prefix announcement configuration (hashable cache key).
+
+    Attributes:
+        origins: announcement points; more than one models anycast.
+        poisoned: ASNs placed on the announced path so that those ASes
+            reject the route (BGP loop detection) — the §6.1 poisoning.
+        no_export: (exporter, neighbour) pairs suppressed, modelling
+            provider no-export BGP communities (§6.1).
+    """
+
+    origins: Tuple[Origin, ...]
+    poisoned: FrozenSet[int] = frozenset()
+    no_export: FrozenSet[Tuple[int, int]] = frozenset()
+
+    @classmethod
+    def single(cls, asn: int) -> "AnnouncementSpec":
+        """The default unicast announcement from one AS."""
+        return cls(origins=(Origin(asn),))
+
+    @classmethod
+    def anycast(cls, asns: Iterable[int]) -> "AnnouncementSpec":
+        return cls(origins=tuple(Origin(asn) for asn in sorted(asns)))
+
+    def origin_asns(self) -> Tuple[int, ...]:
+        return tuple(origin.asn for origin in self.origins)
+
+
+@dataclass(frozen=True)
+class RouteChoice:
+    """The route an AS selected for one announcement."""
+
+    route_class: RouteClass
+    path: Tuple[int, ...]  # from this AS to (and including) the origin
+    next_as: Optional[int]  # None at an origin
+    origin: int
+
+    @property
+    def length(self) -> int:
+        return len(self.path)
+
+
+def _tiebreak(asn: int, via: int, salt: int) -> int:
+    """Deterministic, direction-asymmetric neighbour preference."""
+    return zlib.crc32(f"{asn}|{via}|{salt}".encode())
+
+
+def _tiebreak_symmetric(asn: int, via: int, salt: int) -> int:
+    """Direction-neutral variant: keyed on the unordered AS pair, so
+    the same link is preferred from both sides."""
+    low, high = (asn, via) if asn < via else (via, asn)
+    return zlib.crc32(f"{low}~{high}|{salt}".encode())
+
+
+class RoutingPolicy:
+    """Computes and caches per-announcement route selections.
+
+    ``symmetric_tiebreak_fraction`` controls what share of ASes break
+    equal-preference ties in a direction-neutral way (consistent MEDs,
+    stable igp costs): those ASes pick the same inter-AS link in both
+    directions, while the rest diverge — the knob that calibrates the
+    AS-level path-symmetry rate to the Internet's measured 53% (§6.2).
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        salt: int = 0,
+        symmetric_tiebreak_fraction: float = 0.0,
+    ) -> None:
+        self.graph = graph
+        self.salt = salt
+        self.symmetric_tiebreak_fraction = symmetric_tiebreak_fraction
+        self._cache: Dict[AnnouncementSpec, Dict[int, RouteChoice]] = {}
+
+    def _tb(self, asn: int, via: int) -> int:
+        if self.symmetric_tiebreak_fraction > 0.0:
+            roll = zlib.crc32(f"sym|{asn}|{self.salt}".encode())
+            if (roll % 1000) < self.symmetric_tiebreak_fraction * 1000:
+                return _tiebreak_symmetric(asn, via, self.salt)
+        return _tiebreak(asn, via, self.salt)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def routes(self, spec: AnnouncementSpec) -> Dict[int, RouteChoice]:
+        """Return the selected route of every AS that has one."""
+        cached = self._cache.get(spec)
+        if cached is None:
+            cached = self._compute(spec)
+            self._cache[spec] = cached
+        return cached
+
+    def route_of(
+        self, asn: int, spec: AnnouncementSpec
+    ) -> Optional[RouteChoice]:
+        return self.routes(spec).get(asn)
+
+    def next_hop_as(self, asn: int, spec: AnnouncementSpec) -> Optional[int]:
+        """Next-hop AS of *asn* toward the announcement, if any."""
+        route = self.routes(spec).get(asn)
+        return route.next_as if route else None
+
+    def as_path(
+        self, asn: int, spec: AnnouncementSpec
+    ) -> Optional[Tuple[int, ...]]:
+        route = self.routes(spec).get(asn)
+        return route.path if route else None
+
+    def catchment(self, asn: int, spec: AnnouncementSpec) -> Optional[int]:
+        """Origin AS that traffic from *asn* reaches (anycast)."""
+        route = self.routes(spec).get(asn)
+        return route.origin if route else None
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Route computation
+    # ------------------------------------------------------------------
+
+    def _compute(self, spec: AnnouncementSpec) -> Dict[int, RouteChoice]:
+        graph = self.graph
+        poisoned = spec.poisoned
+        blocked = spec.no_export
+        origin_poison = {
+            origin.asn: origin.poisoned for origin in spec.origins
+        }
+
+        def may_export(exporter: int, neighbor: int) -> bool:
+            return (exporter, neighbor) not in blocked
+
+        def rejects(asn: int, origin_asn: int) -> bool:
+            return asn in poisoned or asn in origin_poison.get(
+                origin_asn, ()
+            )
+
+        def better(
+            candidate: Tuple[int, int], incumbent: Optional[Tuple[int, int]]
+        ) -> bool:
+            """Compare (path_len, tiebreak) keys; lower wins."""
+            return incumbent is None or candidate < incumbent
+
+        # Phase 0/1: origin + customer routes, Dijkstra up provider edges.
+        best: Dict[int, RouteChoice] = {}
+        keys: Dict[int, Tuple[int, int]] = {}
+        heap: List[Tuple[int, int, int, Tuple[int, ...], Optional[int], int]] = []
+        for origin in spec.origins:
+            if origin.asn not in graph or rejects(origin.asn, origin.asn):
+                continue
+            path = (origin.asn,) * (1 + origin.prepend)
+            key = (len(path), self._tb(origin.asn, origin.asn))
+            if better(key, keys.get(origin.asn)):
+                keys[origin.asn] = key
+                best[origin.asn] = RouteChoice(
+                    RouteClass.ORIGIN, path, None, origin.asn
+                )
+                heapq.heappush(
+                    heap,
+                    (key[0], key[1], origin.asn, path, None, origin.asn),
+                )
+
+        settled: set = set()
+        while heap:
+            length, tiebreak, asn, path, _, origin_asn = heapq.heappop(heap)
+            if asn in settled:
+                continue
+            settled.add(asn)
+            node = graph.nodes[asn]
+            exporting = best[asn]
+            for provider in node.providers():
+                if rejects(provider, exporting.origin) or provider in settled:
+                    continue
+                if not may_export(asn, provider):
+                    continue
+                origin_cfg = self._origin_config(spec, asn)
+                if origin_cfg is not None and not origin_cfg.announces_to(
+                    provider
+                ):
+                    continue
+                new_path = (provider,) + exporting.path
+                key = (
+                    len(new_path),
+                    self._tb(provider, asn),
+                )
+                if better(key, keys.get(provider)):
+                    keys[provider] = key
+                    best[provider] = RouteChoice(
+                        RouteClass.CUSTOMER, new_path, asn, exporting.origin
+                    )
+                    heapq.heappush(
+                        heap,
+                        (
+                            key[0],
+                            key[1],
+                            provider,
+                            new_path,
+                            asn,
+                            exporting.origin,
+                        ),
+                    )
+
+        # Phase 2: peer routes, one hop from customer-class holders.
+        customer_holders = dict(best)
+        for asn, route in customer_holders.items():
+            node = graph.nodes[asn]
+            origin_cfg = self._origin_config(spec, asn)
+            for peer in node.peers():
+                if rejects(peer, route.origin) or peer in customer_holders:
+                    continue
+                if not may_export(asn, peer):
+                    continue
+                if origin_cfg is not None and not origin_cfg.announces_to(
+                    peer
+                ):
+                    continue
+                new_path = (peer,) + route.path
+                key = (len(new_path), self._tb(peer, asn))
+                incumbent = best.get(peer)
+                if incumbent is not None and incumbent.route_class <= RouteClass.PEER:
+                    if not better(key, keys.get(peer)):
+                        continue
+                elif incumbent is not None:
+                    pass  # provider-class incumbent always loses to peer
+                keys[peer] = key
+                best[peer] = RouteChoice(
+                    RouteClass.PEER, new_path, asn, route.origin
+                )
+
+        # Phase 3: provider routes, Dijkstra down customer edges.
+        heap = []
+        for asn, route in best.items():
+            heapq.heappush(
+                heap,
+                (
+                    route.length,
+                    keys[asn][1],
+                    asn,
+                    route.path,
+                    route.next_as,
+                    route.origin,
+                ),
+            )
+        settled = set()
+        while heap:
+            length, tiebreak, asn, path, _, origin_asn = heapq.heappop(heap)
+            if asn in settled:
+                continue
+            settled.add(asn)
+            exporting = best[asn]
+            node = graph.nodes[asn]
+            origin_cfg = self._origin_config(spec, asn)
+            for customer in node.customers():
+                if rejects(customer, exporting.origin) or customer in settled:
+                    continue
+                if not may_export(asn, customer):
+                    continue
+                if origin_cfg is not None and not origin_cfg.announces_to(
+                    customer
+                ):
+                    continue
+                incumbent = best.get(customer)
+                if (
+                    incumbent is not None
+                    and incumbent.route_class < RouteClass.PROVIDER
+                ):
+                    continue
+                new_path = (customer,) + exporting.path
+                key = (len(new_path), self._tb(customer, asn))
+                if incumbent is not None and not better(
+                    key, keys.get(customer)
+                ):
+                    continue
+                keys[customer] = key
+                best[customer] = RouteChoice(
+                    RouteClass.PROVIDER, new_path, asn, exporting.origin
+                )
+                heapq.heappush(
+                    heap,
+                    (
+                        key[0],
+                        key[1],
+                        customer,
+                        new_path,
+                        asn,
+                        exporting.origin,
+                    ),
+                )
+
+        self._apply_leaf_preferences(best)
+        return best
+
+    def _apply_leaf_preferences(
+        self, best: Dict[int, RouteChoice]
+    ) -> None:
+        """Honour per-neighbour local preference for leaf ASes.
+
+        A multihomed edge network routinely prefers one provider for
+        all outbound traffic (local-pref) even when another provider
+        offers a shorter path. Only leaf ASes (no customers) are
+        re-selected: nobody routes *through* a leaf, so the change
+        cannot violate the path-consistency (tree) property.
+        """
+        for asn, node in self.graph.nodes.items():
+            if not node.neighbor_pref or node.customers():
+                continue
+            current = best.get(asn)
+            if current is None or current.route_class is not (
+                RouteClass.PROVIDER
+            ):
+                # Never dislodge an origin, customer, or peer route: a
+                # settlement-free peer beats any paid provider, so the
+                # provider local-pref only orders provider routes.
+                continue
+            candidates = []
+            for neighbor, pref in node.neighbor_pref.items():
+                if (
+                    self.graph.relationship(asn, neighbor)
+                    is not Relationship.PROVIDER
+                ):
+                    continue
+                route = best.get(neighbor)
+                if route is None or asn in route.path:
+                    continue
+                candidates.append((pref, -len(route.path), neighbor))
+            if not candidates:
+                continue
+            current_pref = node.neighbor_pref.get(current.next_as, 0)
+            pref, _, neighbor = max(candidates)
+            if pref <= current_pref:
+                continue
+            via = best[neighbor]
+            best[asn] = RouteChoice(
+                RouteClass.PROVIDER,
+                (asn,) + via.path,
+                neighbor,
+                via.origin,
+            )
+
+    @staticmethod
+    def _origin_config(
+        spec: AnnouncementSpec, asn: int
+    ) -> Optional[Origin]:
+        """Return the Origin config if *asn* is an announcement point."""
+        for origin in spec.origins:
+            if origin.asn == asn:
+                return origin
+        return None

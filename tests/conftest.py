@@ -1,0 +1,38 @@
+"""Shared fixtures: topologies are expensive enough to share per-session."""
+
+import pytest
+
+from repro.experiments import Scenario
+from repro.probing import Prober, VantagePointPool
+from repro.topology import TopologyConfig
+from repro.topology.generator import build_internet
+
+
+@pytest.fixture(scope="session")
+def tiny_internet():
+    """A minimal Internet for fast unit tests."""
+    return build_internet(TopologyConfig.tiny(seed=11))
+
+
+@pytest.fixture(scope="session")
+def small_internet():
+    """A small integration-test Internet."""
+    return build_internet(TopologyConfig.small(seed=5))
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """A fully wired Scenario over the small Internet (shared; tests
+    must not mutate announcements or atlases destructively)."""
+    return Scenario(config=TopologyConfig.small(seed=5), seed=5,
+                    atlas_size=20)
+
+
+@pytest.fixture()
+def tiny_prober(tiny_internet):
+    return Prober(tiny_internet)
+
+
+@pytest.fixture(scope="session")
+def tiny_pool(tiny_internet):
+    return VantagePointPool(tiny_internet)

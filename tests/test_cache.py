@@ -1,0 +1,70 @@
+"""Tests for the measurement cache."""
+
+from repro.core.cache import MeasurementCache
+from repro.sim.clock import VirtualClock
+
+
+class TestCache:
+    def test_put_get(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(clock, ttl=10)
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.stats.hits == 1
+
+    def test_expiry(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(clock, ttl=10)
+        cache.put("k", 42)
+        clock.advance(11)
+        assert cache.get("k") is None
+        assert cache.stats.expirations == 1
+
+    def test_fresh_within_ttl(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(clock, ttl=10)
+        cache.put("k", 1)
+        clock.advance(9.9)
+        assert cache.get("k") == 1
+        assert cache.contains_fresh("k")
+
+    def test_disabled_cache_never_hits(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(clock, enabled=False)
+        cache.put("k", 42)
+        assert cache.get("k") is None
+        assert cache.stats.misses == 1
+
+    def test_age(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(clock)
+        cache.put("k", 1)
+        clock.advance(5)
+        assert cache.age("k") == 5
+        assert cache.age("missing") is None
+
+    def test_purge_expired(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(clock, ttl=10)
+        cache.put("a", 1)
+        clock.advance(11)
+        cache.put("b", 2)
+        assert cache.purge_expired() == 1
+        assert len(cache) == 1
+
+    def test_hit_rate(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(clock)
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("missing")
+        assert cache.stats.hit_rate == 0.5
+
+    def test_overwrite_refreshes_timestamp(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(clock, ttl=10)
+        cache.put("k", 1)
+        clock.advance(8)
+        cache.put("k", 2)
+        clock.advance(8)
+        assert cache.get("k") == 2

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_measure_defaults(self):
+        args = build_parser().parse_args(["measure"])
+        assert args.scale == "small"
+        assert args.variant == "revtr2.0"
+        assert args.count == 3
+
+    def test_global_flags(self):
+        args = build_parser().parse_args(
+            ["--seed", "5", "--scale", "tiny", "measure", "--count", "1"]
+        )
+        assert args.seed == 5
+        assert args.scale == "tiny"
+
+
+class TestCommands:
+    def test_measure_runs(self, capsys):
+        code = main(
+            ["--scale", "tiny", "--seed", "3", "measure", "--count", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reverse traceroute" in out
+        assert "AS path" in out
+
+    def test_measure_specific_destination(self, capsys):
+        from repro.experiments import Scenario
+        from repro.topology import TopologyConfig
+
+        scenario = Scenario(
+            config=TopologyConfig.tiny(seed=3), seed=3, atlas_size=20
+        )
+        dst = scenario.responsive_destinations(1, options_only=True)[0]
+        code = main(
+            ["--scale", "tiny", "--seed", "3", "measure", "--dst", dst]
+        )
+        assert code == 0
+        assert dst in capsys.readouterr().out
+
+    def test_measure_legacy_variant(self, capsys):
+        code = main(
+            [
+                "--scale", "tiny", "--seed", "3",
+                "measure", "--count", "1", "--variant", "revtr1.0",
+            ]
+        )
+        assert code == 0
+
+    def test_asymmetry_runs(self, capsys):
+        code = main(
+            ["--scale", "tiny", "--seed", "3", "asymmetry",
+             "--count", "20"]
+        )
+        assert code == 0
+        assert "Fig 8a" in capsys.readouterr().out
+
+    def test_te_runs(self, capsys):
+        code = main(
+            ["--scale", "tiny", "--seed", "3", "te", "--count", "20"]
+        )
+        assert code == 0
+        assert "traffic engineering" in capsys.readouterr().out

@@ -1,0 +1,57 @@
+"""Package-level quality gates: importability and documentation."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_imports_and_is_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+def test_all_packages_covered():
+    packages = {
+        "repro.net",
+        "repro.topology",
+        "repro.sim",
+        "repro.probing",
+        "repro.alias",
+        "repro.asmap",
+        "repro.core",
+        "repro.service",
+        "repro.te",
+        "repro.analysis",
+        "repro.experiments",
+    }
+    assert packages <= set(MODULES)
+
+
+def test_public_classes_documented():
+    """Every public class in the core packages carries a docstring."""
+    import inspect
+
+    undocumented = []
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if (
+                inspect.isclass(obj)
+                and obj.__module__ == module_name
+                and not obj.__doc__
+            ):
+                undocumented.append(f"{module_name}.{name}")
+    assert not undocumented, undocumented

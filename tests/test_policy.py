@@ -1,0 +1,177 @@
+"""Tests for Gao-Rexford route computation, poisoning, and anycast."""
+
+import pytest
+
+from repro.topology.asgraph import ASGraph, ASTier, Relationship
+from repro.topology.policy import (
+    AnnouncementSpec,
+    Origin,
+    RouteClass,
+    RoutingPolicy,
+)
+
+
+def diamond_graph():
+    """1 and 2 are providers of 3 and 4; 1-2 peer; 3-4 peer.
+
+        1 --peer-- 2
+        |  \\      |
+        3   \\---- 4      (3, 4 customers)
+    """
+    graph = ASGraph()
+    for asn in (1, 2, 3, 4):
+        graph.add_as(asn, ASTier.TRANSIT if asn <= 2 else ASTier.STUB)
+    graph.add_edge(1, 2, Relationship.PEER)
+    graph.add_edge(1, 3, Relationship.CUSTOMER)
+    graph.add_edge(1, 4, Relationship.CUSTOMER)
+    graph.add_edge(2, 4, Relationship.CUSTOMER)
+    graph.add_edge(3, 4, Relationship.PEER)
+    return graph
+
+
+class TestBasicSelection:
+    def test_customer_route_preferred_over_peer(self):
+        graph = diamond_graph()
+        policy = RoutingPolicy(graph)
+        spec = AnnouncementSpec.single(4)
+        # AS1 can reach 4 directly (customer) or via peer 2; customer wins.
+        route = policy.route_of(1, spec)
+        assert route.route_class is RouteClass.CUSTOMER
+        assert route.path == (1, 4)
+
+    def test_peer_route_of_stub(self):
+        graph = diamond_graph()
+        policy = RoutingPolicy(graph)
+        spec = AnnouncementSpec.single(4)
+        route = policy.route_of(3, spec)
+        # 3 reaches 4 via the direct peering, not up through 1.
+        assert route.route_class is RouteClass.PEER
+        assert route.path == (3, 4)
+
+    def test_provider_route(self):
+        graph = diamond_graph()
+        policy = RoutingPolicy(graph)
+        spec = AnnouncementSpec.single(3)
+        # 2 has no customer/peer path to 3; must go up?  2 is a provider
+        # of 4 which peers with 3, but peer routes are not exported to
+        # providers; 2 reaches 3 via its peer 1 (1 has customer route).
+        route = policy.route_of(2, spec)
+        assert route.route_class is RouteClass.PEER
+        assert route.path == (2, 1, 3)
+
+    def test_origin_route(self):
+        graph = diamond_graph()
+        policy = RoutingPolicy(graph)
+        spec = AnnouncementSpec.single(4)
+        route = policy.route_of(4, spec)
+        assert route.route_class is RouteClass.ORIGIN
+        assert route.next_as is None
+
+    def test_valley_free_no_peer_to_peer_transit(self):
+        # 5 peers with 4 and buys transit from 1. Peer routes must not
+        # be re-exported: 3 must not hear 5 through its peer 4.
+        graph = diamond_graph()
+        graph.add_as(5, ASTier.STUB)
+        graph.add_edge(4, 5, Relationship.PEER)
+        graph.add_edge(1, 5, Relationship.CUSTOMER)
+        policy = RoutingPolicy(graph)
+        spec = AnnouncementSpec.single(5)
+        route3 = policy.route_of(3, spec)
+        assert route3 is not None
+        assert route3.path == (3, 1, 5)
+        # 2, a provider of 4, must not hear 4's peer route either: it
+        # reaches 5 through its peer 1 (customer route at 1).
+        route2 = policy.route_of(2, spec)
+        assert route2.path == (2, 1, 5)
+
+    def test_path_consistency_is_a_tree(self):
+        graph = diamond_graph()
+        policy = RoutingPolicy(graph)
+        spec = AnnouncementSpec.single(3)
+        routes = policy.routes(spec)
+        for asn, route in routes.items():
+            if route.next_as is None:
+                continue
+            next_route = routes[route.next_as]
+            assert route.path[1:] == next_route.path
+
+    def test_unreachable_as_has_no_route(self):
+        graph = diamond_graph()
+        graph.add_as(99, ASTier.STUB)  # isolated
+        policy = RoutingPolicy(graph)
+        assert policy.route_of(99, AnnouncementSpec.single(4)) is None
+        assert policy.route_of(1, AnnouncementSpec.single(99)) is None
+
+
+class TestPoisoning:
+    def test_poisoned_as_rejects_route(self):
+        graph = diamond_graph()
+        policy = RoutingPolicy(graph)
+        spec = AnnouncementSpec(
+            origins=(Origin(4),), poisoned=frozenset({1})
+        )
+        assert policy.route_of(1, spec) is None
+        # 3 now reaches 4 only via the direct peering.
+        route3 = policy.route_of(3, spec)
+        assert route3.path == (3, 4)
+
+    def test_prepend_lengthens_path(self):
+        graph = diamond_graph()
+        policy = RoutingPolicy(graph)
+        plain = policy.route_of(1, AnnouncementSpec.single(4))
+        prepended = policy.route_of(
+            1, AnnouncementSpec(origins=(Origin(4, prepend=3),))
+        )
+        assert prepended.length == plain.length + 3
+
+
+class TestNoExportAndSelectiveAnnounce:
+    def test_no_export_blocks_edge(self):
+        graph = diamond_graph()
+        policy = RoutingPolicy(graph)
+        spec = AnnouncementSpec(
+            origins=(Origin(4),),
+            no_export=frozenset({(4, 1)}),
+        )
+        route1 = policy.route_of(1, spec)
+        # 1 cannot hear 4 directly; it hears via peer 2.
+        assert route1.path == (1, 2, 4)
+
+    def test_selective_announce(self):
+        graph = diamond_graph()
+        policy = RoutingPolicy(graph)
+        spec = AnnouncementSpec(
+            origins=(Origin(4, announce_to=frozenset({2})),)
+        )
+        route1 = policy.route_of(1, spec)
+        assert route1.path == (1, 2, 4)
+
+
+class TestAnycast:
+    def test_catchment_partition(self):
+        graph = diamond_graph()
+        policy = RoutingPolicy(graph)
+        spec = AnnouncementSpec.anycast([3, 4])
+        # Each origin catches itself.
+        assert policy.catchment(3, spec) == 3
+        assert policy.catchment(4, spec) == 4
+        # Providers pick their directly attached origin.
+        assert policy.catchment(2, spec) == 4
+        assert policy.catchment(1, spec) in (3, 4)
+        assert policy.route_of(1, spec).length == 2
+
+
+class TestDeterminism:
+    def test_same_inputs_same_routes(self, small_internet):
+        policy_a = RoutingPolicy(small_internet.graph, salt=3)
+        policy_b = RoutingPolicy(small_internet.graph, salt=3)
+        asns = small_internet.graph.asns()
+        spec = AnnouncementSpec.single(asns[-1])
+        assert policy_a.routes(spec) == policy_b.routes(spec)
+
+    def test_all_ases_reach_all_origins(self, small_internet):
+        policy = small_internet.policy
+        asns = small_internet.graph.asns()
+        for dst in asns[:10]:
+            routes = policy.routes(AnnouncementSpec.single(dst))
+            assert set(routes) == set(asns), f"unreachable ASes for {dst}"

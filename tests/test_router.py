@@ -1,0 +1,97 @@
+"""Tests for router stamping policies and alias behaviour."""
+
+from repro.net.router import (
+    Interface,
+    InterfaceRole,
+    Router,
+    RRStampPolicy,
+)
+
+
+def make_router(policy=RRStampPolicy.EGRESS):
+    router = Router(asn=65000, rr_policy=policy, private_addr="10.9.9.9")
+    router.add_interface("1.0.0.1", InterfaceRole.LOOPBACK)
+    router.add_interface("1.0.1.1", InterfaceRole.LINK, 7)
+    router.add_interface("1.0.1.5", InterfaceRole.LINK, 8)
+    return router
+
+
+class TestStamping:
+    def test_egress_policy(self):
+        router = make_router(RRStampPolicy.EGRESS)
+        assert router.rr_stamp_address("1.0.1.1", "1.0.1.5") == "1.0.1.5"
+
+    def test_egress_falls_back_to_ingress(self):
+        router = make_router(RRStampPolicy.EGRESS)
+        assert router.rr_stamp_address("1.0.1.1", None) == "1.0.1.1"
+
+    def test_ingress_policy(self):
+        router = make_router(RRStampPolicy.INGRESS)
+        assert router.rr_stamp_address("1.0.1.1", "1.0.1.5") == "1.0.1.1"
+
+    def test_loopback_policy(self):
+        router = make_router(RRStampPolicy.LOOPBACK)
+        assert router.rr_stamp_address("1.0.1.1", "1.0.1.5") == "1.0.0.1"
+
+    def test_private_policy(self):
+        router = make_router(RRStampPolicy.PRIVATE)
+        assert router.rr_stamp_address("1.0.1.1", "1.0.1.5") == "10.9.9.9"
+
+    def test_no_stamp_policy(self):
+        router = make_router(RRStampPolicy.NO_STAMP)
+        assert router.rr_stamp_address("1.0.1.1", "1.0.1.5") is None
+
+
+class TestAliases:
+    def test_owns(self):
+        router = make_router()
+        assert router.owns("1.0.0.1")
+        assert router.owns("1.0.1.5")
+        assert router.owns("10.9.9.9")  # private management address
+        assert not router.owns("2.2.2.2")
+
+    def test_addresses_excludes_private(self):
+        router = make_router()
+        assert "10.9.9.9" not in router.addresses()
+        assert len(router.addresses()) == 3
+
+    def test_loopback_recorded(self):
+        router = make_router()
+        assert router.loopback == "1.0.0.1"
+
+
+class TestBehaviour:
+    def test_ipid_monotone(self):
+        router = make_router()
+        first = router.next_ipid()
+        second = router.next_ipid()
+        assert second == (first + 1) & 0xFFFF
+
+    def test_snmp_engine_id_stable(self):
+        router = make_router()
+        router.snmpv3_responsive = True
+        assert router.snmpv3_engine_id() == router.snmpv3_engine_id()
+        other = make_router()
+        other.snmpv3_responsive = True
+        assert router.snmpv3_engine_id() != other.snmpv3_engine_id()
+
+    def test_snmp_unresponsive(self):
+        router = make_router()
+        router.snmpv3_responsive = False
+        assert router.snmpv3_engine_id() is None
+
+    def test_traceroute_reply_unresponsive(self):
+        router = make_router()
+        router.responds_to_ttl = False
+        assert router.traceroute_reply_address("1.0.1.1") is None
+
+    def test_traceroute_reply_ingress(self):
+        router = make_router()
+        assert router.traceroute_reply_address("1.0.1.1") == "1.0.1.1"
+        assert router.traceroute_reply_address(None) == "1.0.0.1"
+
+    def test_equality_by_id(self):
+        a, b = make_router(), make_router()
+        assert a != b
+        assert a == a
+        assert len({a, b}) == 2

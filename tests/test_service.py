@@ -1,0 +1,132 @@
+"""Tests for the service layer: users, quotas, bootstrap, API."""
+
+import pytest
+
+from repro.core.result import RevtrStatus
+from repro.service import (
+    MeasurementRequest,
+    MeasurementStore,
+    RevtrService,
+    SourceRegistry,
+)
+from repro.service.sources import BootstrapError
+from repro.service.users import QuotaExceeded, UserDatabase
+from repro.sim.clock import VirtualClock
+
+
+@pytest.fixture(scope="module")
+def service(small_scenario):
+    registry = SourceRegistry(
+        small_scenario.internet,
+        small_scenario.background_prober,
+        small_scenario.atlas_vp_addrs,
+        small_scenario.spoofer_addrs,
+        atlas_size=15,
+        seed=9,
+    )
+    return RevtrService(
+        prober=small_scenario.online_prober,
+        registry=registry,
+        selector=small_scenario.selector("revtr2.0"),
+        ip2as=small_scenario.ip2as,
+        relationships=small_scenario.relationships,
+        resolver=small_scenario.resolver,
+    )
+
+
+class TestUsers:
+    def test_add_and_authenticate(self):
+        db = UserDatabase(VirtualClock())
+        user = db.add_user("alice")
+        assert db.authenticate(user.api_key) is user
+        with pytest.raises(PermissionError):
+            db.authenticate("wrong")
+
+    def test_duplicate_name_rejected(self):
+        db = UserDatabase(VirtualClock())
+        db.add_user("alice")
+        with pytest.raises(ValueError):
+            db.add_user("alice")
+
+    def test_daily_quota(self):
+        clock = VirtualClock()
+        db = UserDatabase(clock)
+        user = db.add_user("bob", max_per_day=2)
+        user.charge(clock.now())
+        user.charge(clock.now())
+        with pytest.raises(QuotaExceeded):
+            user.charge(clock.now())
+        # Quota resets the next (virtual) day.
+        clock.advance(86_400)
+        user.charge(clock.now())
+        assert user.remaining_today(clock.now()) == 1
+
+
+class TestStore:
+    def test_indexes(self, small_scenario):
+        store = MeasurementStore()
+        engine = small_scenario.engine(
+            small_scenario.sources()[0], "revtr2.0"
+        )
+        dst = small_scenario.responsive_destinations(1)[0]
+        result = engine.measure(dst)
+        store.append(result, user="alice", requested_at=0.0)
+        assert len(store) == 1
+        assert store.by_user("alice")[0].result is result
+        assert store.by_source(result.src)[0].result is result
+        assert store.by_user("nobody") == []
+
+
+class TestBootstrap:
+    def test_register_builds_atlas(self, service, small_scenario):
+        key = service.add_user("carol").api_key
+        source = small_scenario.sources()[1]
+        registered = service.add_source(key, source)
+        assert registered.report.rr_receivable
+        assert registered.report.atlas_size > 0
+        assert registered.report.rr_atlas_aliases > 0
+        assert registered.report.duration > 0
+
+    def test_unknown_host_rejected(self, service):
+        key = service.add_user("dave").api_key
+        with pytest.raises(BootstrapError):
+            service.add_source(key, "203.0.113.50")
+
+    def test_duplicate_source_rejected(self, service, small_scenario):
+        key = service.add_user("erin").api_key
+        source = small_scenario.sources()[2]
+        service.add_source(key, source)
+        with pytest.raises(ValueError):
+            service.add_source(key, source)
+
+
+class TestRequests:
+    def test_request_flow(self, service, small_scenario):
+        key = service.add_user("frank", max_per_day=50).api_key
+        source = small_scenario.sources()[3]
+        service.add_source(key, source)
+        dsts = small_scenario.responsive_destinations(
+            4, options_only=True
+        )
+        results = service.request_batch(key, dsts, src=source)
+        assert len(results) == 4
+        assert len(service.store.by_user("frank")) == 4
+        assert any(
+            r.status is RevtrStatus.COMPLETE for r in results
+        )
+
+    def test_quota_enforced(self, service, small_scenario):
+        key = service.add_user("grace", max_per_day=1).api_key
+        source = small_scenario.sources()[1]  # registered by carol
+        dst = small_scenario.responsive_destinations(1)[0]
+        service.request(MeasurementRequest(key, dst, source))
+        with pytest.raises(QuotaExceeded):
+            service.request(MeasurementRequest(key, dst, source))
+
+    def test_unregistered_source_rejected(self, service, small_scenario):
+        key = service.add_user("heidi").api_key
+        dst = small_scenario.responsive_destinations(1)[0]
+        with pytest.raises(KeyError):
+            service.request(
+                MeasurementRequest(key, dst, "203.0.113.10")
+            )

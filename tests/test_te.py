@@ -1,0 +1,154 @@
+"""Tests for the PEERING-like testbed and traffic engineering."""
+
+import pytest
+
+from repro.te import PeeringTestbed, TrafficEngineer
+from repro.te.peering import CONVERGENCE_SECONDS
+
+
+@pytest.fixture()
+def testbed_setup(small_scenario):
+    """A fresh anycast deployment over two M-Lab site ASes."""
+    internet = small_scenario.internet
+    source = small_scenario.sources()[0]
+    other_site = small_scenario.internet.hosts[
+        small_scenario.sources()[1]
+    ].asn
+    testbed = PeeringTestbed(internet)
+    deployment = testbed.deploy(source, [other_site])
+    yield testbed, deployment, source
+    testbed.withdraw(deployment)
+
+
+class TestDeployment:
+    def test_two_sites(self, testbed_setup, small_scenario):
+        testbed, deployment, source = testbed_setup
+        assert len(deployment.site_asns) == 2
+        internet = small_scenario.internet
+        prefix = deployment.prefix
+        assert prefix in internet.announcements
+        assert set(internet.anycast_anchors[prefix]) == set(
+            deployment.site_asns
+        )
+
+    def test_catchments_partition_ases(
+        self, testbed_setup, small_scenario
+    ):
+        testbed, deployment, _ = testbed_setup
+        counts = {asn: 0 for asn in deployment.site_asns}
+        for asn in small_scenario.internet.graph.asns():
+            catchment = testbed.catchment_of(deployment, asn)
+            if catchment is not None:
+                counts[catchment] += 1
+        assert all(count > 0 for count in counts.values()), counts
+
+    def test_withdraw_restores_unicast(self, small_scenario):
+        internet = small_scenario.internet
+        source = small_scenario.sources()[0]
+        other = internet.hosts[small_scenario.sources()[1]].asn
+        testbed = PeeringTestbed(internet)
+        deployment = testbed.deploy(source, [other])
+        prefix = deployment.prefix
+        testbed.withdraw(deployment)
+        assert prefix not in internet.announcements
+
+
+class TestEngineering:
+    def test_poison_shifts_catchment(
+        self, testbed_setup, small_scenario
+    ):
+        testbed, deployment, source = testbed_setup
+        internet = small_scenario.internet
+        # Find an AS whose path to the anycast goes through some
+        # transit we can poison.
+        spec = deployment.spec()
+        target_transit = None
+        for asn in internet.graph.asns():
+            route = internet.policy.route_of(asn, spec)
+            if route is not None and len(route.path) >= 3:
+                target_transit = route.path[1]
+                break
+        if target_transit is None or target_transit in deployment.site_asns:
+            pytest.skip("no poisonable transit found")
+        before = {
+            asn: testbed.catchment_of(deployment, asn)
+            for asn in internet.graph.asns()
+        }
+        testbed.reannounce(
+            deployment, poisoned=frozenset({target_transit})
+        )
+        assert (
+            testbed.catchment_of(deployment, target_transit) is None
+        )
+        after = {
+            asn: testbed.catchment_of(deployment, asn)
+            for asn in internet.graph.asns()
+        }
+        assert before != after
+
+    def test_reannounce_charges_convergence(
+        self, testbed_setup, small_scenario
+    ):
+        testbed, deployment, _ = testbed_setup
+        clock = small_scenario.clock
+        before = clock.now()
+        testbed.reannounce(
+            deployment, prepends={deployment.site_asns[0]: 1},
+            clock=clock,
+        )
+        assert clock.now() - before == pytest.approx(
+            CONVERGENCE_SECONDS
+        )
+
+    def test_measured_catchment_matches_control_plane(self):
+        """Reverse traceroutes see the same catchment BGP computes.
+
+        Uses a private scenario: the anycast round must start from a
+        clean measurement state (no unicast-era caches or atlases).
+        """
+        import random
+
+        from repro.core.revtr import EngineConfig
+        from repro.experiments import Scenario
+        from repro.topology import TopologyConfig
+
+        scenario = Scenario(
+            config=TopologyConfig.small(seed=8), seed=8, atlas_size=15
+        )
+        internet = scenario.internet
+        source = scenario.sources()[0]
+        other = internet.hosts[scenario.sources()[1]].asn
+        testbed = PeeringTestbed(internet)
+        deployment = testbed.deploy(source, [other])
+        # Build the source's atlas under the anycast announcement.
+        bundle = scenario.bundle(source)
+        bundle.atlas.build(
+            scenario.background_prober,
+            scenario.atlas_vp_addrs,
+            random.Random(3),
+            size=15,
+        )
+        engine = scenario.engine(source, "revtr2.0")
+        engineer = TrafficEngineer(
+            testbed,
+            engine,
+            scenario.online_prober,
+            scenario.ip2as,
+        )
+        dests = scenario.responsive_destinations(
+            20, options_only=True
+        )
+        report = engineer.measure_round(deployment, dests)
+        small_scenario = scenario  # for the assertions below
+        matched, measured = 0, 0
+        for dst, site in report.site_of.items():
+            if site is None:
+                continue
+            measured += 1
+            truth = testbed.catchment_of(
+                deployment, small_scenario.internet.hosts[dst].asn
+            )
+            if site == truth:
+                matched += 1
+        assert measured >= 3
+        assert matched / measured >= 0.7

@@ -1,0 +1,133 @@
+"""Tests for parallel interconnect links and MPLS-hidden routers."""
+
+import pytest
+
+from repro.net.packet import Probe, ProbeKind
+from repro.net.options import RecordRouteOption
+from repro.net.router import RRStampPolicy
+from repro.probing import Prober, paris_traceroute
+from repro.topology import TopologyConfig, build_internet
+from repro.topology.asgraph import ASTier
+
+
+@pytest.fixture(scope="module")
+def parallel_internet():
+    config = TopologyConfig.small(seed=41)
+    config.parallel_link_rate = 1.0
+    config.mpls_hidden_rate = 0.08
+    return build_internet(config)
+
+
+class TestParallelLinks:
+    def test_core_adjacencies_have_parallel_links(
+        self, parallel_internet
+    ):
+        internet = parallel_internet
+        graph = internet.graph
+        multi = 0
+        for asn, by_neighbor in internet.borders.items():
+            for neighbor, pairs in by_neighbor.items():
+                if len(pairs) > 1:
+                    tiers = {
+                        graph.nodes[asn].tier,
+                        graph.nodes[neighbor].tier,
+                    }
+                    # Parallel links only at big interconnects.
+                    assert ASTier.TIER1 in tiers
+                    multi += 1
+        assert multi > 0
+
+    def test_forwarding_still_works(self, parallel_internet):
+        internet = parallel_internet
+        prober = Prober(internet)
+        src = internet.mlab_hosts[0]
+        delivered = 0
+        hosts = sorted(
+            h.addr
+            for h in internet.hosts.values()
+            if h.responds_to_ping and not h.is_vantage_point
+        )
+        for dst in hosts[:40]:
+            if prober.ping(src, dst) is not None:
+                delivered += 1
+        assert delivered >= 30
+
+    def test_parallel_links_are_distinct_router_pairs(
+        self, parallel_internet
+    ):
+        internet = parallel_internet
+        for by_neighbor in internet.borders.values():
+            for pairs in by_neighbor.values():
+                assert len(pairs) == len(set(pairs))
+
+
+class TestMplsHidden:
+    def test_hidden_routers_exist(self, parallel_internet):
+        hidden = [
+            r
+            for r in parallel_internet.routers.values()
+            if not r.responds_to_ttl
+            and r.rr_policy is RRStampPolicy.NO_STAMP
+        ]
+        assert hidden
+
+    def test_hidden_router_invisible_to_traceroute(
+        self, parallel_internet
+    ):
+        """A path crossing a hidden router shows a '*' there but the
+        path still completes (TTL is still decremented)."""
+        internet = parallel_internet
+        prober = Prober(internet)
+        src = internet.mlab_hosts[0]
+        hidden_ids = {
+            r.router_id
+            for r in internet.routers.values()
+            if not r.responds_to_ttl
+            and r.rr_policy is RRStampPolicy.NO_STAMP
+        }
+        checked = 0
+        hosts = sorted(
+            h.addr
+            for h in internet.hosts.values()
+            if h.responds_to_ping and not h.is_vantage_point
+        )
+        for dst in hosts:
+            truth = internet.ground_truth_router_path(src, dst)
+            crossing = [
+                i for i, rid in enumerate(truth) if rid in hidden_ids
+            ]
+            if not crossing:
+                continue
+            trace = paris_traceroute(prober, src, dst)
+            if not trace.reached:
+                continue
+            for index in crossing:
+                if index < len(trace.hops):
+                    assert trace.hops[index] is None
+                    checked += 1
+            if checked >= 3:
+                break
+        if checked == 0:
+            pytest.skip("no reachable path crossed a hidden router")
+
+    def test_hidden_router_missing_from_rr(self, parallel_internet):
+        """Hidden routers never appear in record-route slots."""
+        internet = parallel_internet
+        prober = Prober(internet)
+        src = internet.mlab_hosts[0]
+        hidden_addrs = set()
+        for r in internet.routers.values():
+            if (
+                not r.responds_to_ttl
+                and r.rr_policy is RRStampPolicy.NO_STAMP
+            ):
+                hidden_addrs.update(r.addresses())
+        hosts = sorted(
+            h.addr
+            for h in internet.hosts.values()
+            if h.responds_to_options
+        )
+        for dst in hosts[:40]:
+            result = prober.rr_ping(src, dst)
+            for slot in result.slots:
+                assert slot not in hidden_addrs

@@ -1,0 +1,116 @@
+"""Tests for the §6.3 use-case analyses: throughput projection and
+hidden-provider detection."""
+
+import pytest
+
+from repro.analysis.hidden_providers import (
+    find_hidden_providers,
+    format_report,
+)
+from repro.analysis.throughput import (
+    ThroughputProjection,
+    format_projection_table,
+    project_throughput,
+)
+
+
+class TestThroughput:
+    def test_projection_arithmetic(self):
+        projection = project_throughput(
+            "x", total_probes=1000, n_revtrs=100, n_vantage_points=10
+        )
+        assert projection.probes_per_revtr == 10.0
+        assert projection.fleet_pps == 1000.0
+        assert projection.revtrs_per_second == 100.0
+        assert projection.revtrs_per_day == 100.0 * 86_400
+
+    def test_scaling(self):
+        projection = project_throughput("x", 1000, 100, 10)
+        scaled = projection.scaled_to(146)
+        assert scaled.probes_per_revtr == projection.probes_per_revtr
+        assert scaled.revtrs_per_second == pytest.approx(
+            projection.revtrs_per_second * 14.6
+        )
+
+    def test_zero_revtrs_rejected(self):
+        with pytest.raises(ValueError):
+            project_throughput("x", 10, 0, 5)
+
+    def test_table_renders(self):
+        table = format_projection_table(
+            [ThroughputProjection("a", 5.0, 10)]
+        )
+        assert "a" in table and "revtr/day" in table
+
+    def test_projection_from_campaign(self, small_scenario):
+        from repro.experiments import exp_comparison
+
+        campaign = exp_comparison.run(
+            small_scenario,
+            n_pairs=30,
+            n_sources=2,
+            variants=("revtr1.0", "revtr2.0"),
+        )
+        projections = {
+            p.variant: p
+            for p in exp_comparison.throughput_projections(campaign)
+        }
+        assert (
+            projections["revtr2.0"].probes_per_revtr
+            < projections["revtr1.0"].probes_per_revtr
+        )
+        assert exp_comparison.format_throughput(campaign)
+
+
+class TestHiddenProviders:
+    def test_detects_reverse_only_upstream(self):
+        # Forward: source 1 -> 2 -> 9 (dest AS 9, upstream 2).
+        # Reverse (normalised to forward orientation): 1 -> 3 -> 9.
+        report = find_hidden_providers([([1, 2, 9], [1, 3, 9])])
+        assert report.hidden_providers(9) == {3}
+        assert report.all_findings() == [(9, {3})]
+
+    def test_symmetric_paths_hide_nothing(self):
+        report = find_hidden_providers([([1, 2, 9], [1, 2, 9])])
+        assert report.hidden_providers(9) == set()
+        assert report.all_findings() == []
+
+    def test_multiple_measurements_accumulate(self):
+        pairs = [
+            ([1, 2, 9], [1, 2, 9]),
+            ([1, 4, 9], [1, 3, 9]),
+        ]
+        report = find_hidden_providers(pairs)
+        # 2 and 4 both seen forward; 3 only reverse.
+        assert report.hidden_providers(9) == {3}
+
+    def test_report_renders(self):
+        report = find_hidden_providers([([1, 2, 9], [1, 3, 9])])
+        text = format_report(report)
+        assert "AS9" in text and "AS3" in text
+
+    def test_on_simulated_campaign(self, small_scenario):
+        """End to end: hidden providers found on the asymmetry campaign
+        correspond to real reverse-path upstreams in the topology."""
+        from repro.experiments import exp_asymmetry
+
+        campaign = exp_asymmetry.run(
+            small_scenario, n_destinations=60, n_sources=2
+        )
+        pairs = [
+            (record.forward_as, record.reverse_as)
+            for record in campaign.records
+        ]
+        report = find_hidden_providers(pairs)
+        graph = small_scenario.internet.graph
+        for dst_asn, hidden in report.all_findings():
+            for provider in hidden:
+                # A hidden provider must actually neighbour the
+                # destination AS in the real topology (the reverse
+                # path is genuine, not an artifact).
+                if provider in graph and dst_asn in graph:
+                    assert (
+                        graph.relationship(dst_asn, provider)
+                        is not None
+                        or provider != dst_asn
+                    )

@@ -1,0 +1,100 @@
+"""Tests for the JSON wire formats and archive export/import."""
+
+import json
+
+import pytest
+
+from repro.core.result import RevtrStatus
+from repro.service.store import MeasurementStore
+from repro.service.wire import (
+    WIRE_VERSION,
+    export_jsonl,
+    import_jsonl,
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def sample_result(small_scenario):
+    engine = small_scenario.engine(
+        small_scenario.sources()[0], "revtr2.0"
+    )
+    for dst in small_scenario.responsive_destinations(
+        10, options_only=True
+    ):
+        result = engine.measure(dst)
+        if result.status is RevtrStatus.COMPLETE:
+            return result
+    pytest.skip("no complete measurement found")
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, sample_result):
+        data = result_to_dict(sample_result)
+        assert data["version"] == WIRE_VERSION
+        back = result_from_dict(data)
+        assert back.src == sample_result.src
+        assert back.dst == sample_result.dst
+        assert back.status == sample_result.status
+        assert back.addresses() == sample_result.addresses()
+        assert back.techniques() == sample_result.techniques()
+        assert back.probe_counts == sample_result.probe_counts
+        assert back.flagged_as_path == sample_result.flagged_as_path
+
+    def test_json_round_trip(self, sample_result):
+        text = result_to_json(sample_result)
+        json.loads(text)  # valid JSON
+        back = result_from_json(text)
+        assert back.addresses() == sample_result.addresses()
+
+    def test_json_is_stable(self, sample_result):
+        assert result_to_json(sample_result) == result_to_json(
+            sample_result
+        )
+
+    def test_bad_version_rejected(self, sample_result):
+        data = result_to_dict(sample_result)
+        data["version"] = 999
+        with pytest.raises(ValueError):
+            result_from_dict(data)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            result_from_dict({"version": WIRE_VERSION})
+
+
+class TestArchiveExport:
+    def test_export_import(self, sample_result, tmp_path):
+        store = MeasurementStore()
+        store.append(sample_result, user="alice", requested_at=12.5,
+                     label="t")
+        store.append(sample_result, user="bob", requested_at=13.5)
+        path = tmp_path / "archive.jsonl"
+        count = export_jsonl(store, str(path))
+        assert count == 2
+        records = import_jsonl(str(path))
+        assert len(records) == 2
+        assert records[0].user == "alice"
+        assert records[0].requested_at == 12.5
+        assert records[0].label == "t"
+        assert (
+            records[0].result.addresses()
+            == sample_result.addresses()
+        )
+
+    def test_export_filtered_by_user(self, sample_result, tmp_path):
+        store = MeasurementStore()
+        store.append(sample_result, user="alice", requested_at=1.0)
+        store.append(sample_result, user="bob", requested_at=2.0)
+        path = tmp_path / "alice.jsonl"
+        assert export_jsonl(store, str(path), user="alice") == 1
+        records = import_jsonl(str(path))
+        assert [r.user for r in records] == ["alice"]
+
+    def test_empty_store(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert export_jsonl(MeasurementStore(), str(path)) == 0
+        assert import_jsonl(str(path)) == []
