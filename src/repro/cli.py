@@ -3,35 +3,55 @@
 Commands:
 
 * ``measure`` — build a simulated Internet and run reverse traceroutes
-  toward an M-Lab-like source, printing hop-by-hop results;
+  toward an M-Lab-like source, printing hop-by-hop results
+  (``--json`` for machine-readable output with per-measurement trace
+  trees, ``--metrics-out FILE`` to save the metrics snapshot);
 * ``asymmetry`` — run a miniature §6.2 bidirectional study;
 * ``te`` — run the §6.1 traffic-engineering loop;
-* ``survey`` — the Appendix F record-route responsiveness survey.
+* ``survey`` — the Appendix F record-route responsiveness survey
+  (``--json`` for machine-readable output);
+* ``stats`` — render a Prometheus-style metrics exposition, either
+  from a saved snapshot (``--from``) or by running a fresh workload.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.experiments import Scenario
+from repro.obs import Instrumentation
 from repro.topology import TopologyConfig
 
 
-def _scenario(args: argparse.Namespace) -> Scenario:
+def _scenario(
+    args: argparse.Namespace, instrumentation=None
+) -> Scenario:
     config = {
         "tiny": TopologyConfig.tiny,
         "small": TopologyConfig.small,
         "evaluation": TopologyConfig.evaluation,
     }[args.scale](seed=args.seed)
     return Scenario(
-        config=config, seed=args.seed, atlas_size=args.atlas_size
+        config=config,
+        seed=args.seed,
+        atlas_size=args.atlas_size,
+        instrumentation=instrumentation,
     )
 
 
+def _write_metrics(instr: Instrumentation, path: Optional[str]) -> None:
+    if not path:
+        return
+    with open(path, "w") as fh:
+        json.dump(instr.registry.snapshot(), fh, indent=2)
+
+
 def _cmd_measure(args: argparse.Namespace) -> int:
-    scenario = _scenario(args)
+    instr = Instrumentation()
+    scenario = _scenario(args, instrumentation=instr)
     source = scenario.sources()[args.source_index]
     engine = scenario.engine(source, args.variant)
     destinations = (
@@ -41,8 +61,16 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             args.count, options_only=True
         )
     )
+    measurements = []
     for dst in destinations:
         result = engine.measure(dst)
+        if args.json:
+            doc = result.to_dict()
+            trace = instr.tracer.last_trace
+            if trace is not None:
+                doc["trace"] = trace.to_dict()
+            measurements.append(doc)
+            continue
         print(result.render())
         print(
             f"  AS path: "
@@ -50,6 +78,17 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         )
         print(f"  probes: {result.probe_counts}")
         print()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "measurements": measurements,
+                    "metrics": instr.registry.snapshot(),
+                },
+                indent=2,
+            )
+        )
+    _write_metrics(instr, args.metrics_out)
     return 0
 
 
@@ -79,9 +118,49 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     from repro.experiments import exp_rr_responsiveness
 
     result = exp_rr_responsiveness.run(seed=args.seed)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+        return 0
     print(exp_rr_responsiveness.format_table6(result))
     print()
     print(exp_rr_responsiveness.format_fig11(result))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.exposition import render_text
+
+    if args.from_file:
+        try:
+            with open(args.from_file) as fh:
+                snapshot = json.load(fh)
+        except OSError as exc:
+            print(f"error: cannot read {args.from_file}: {exc.strerror}",
+                  file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {args.from_file} is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return 2
+        # Accept both a bare registry snapshot (--metrics-out) and a
+        # full ``measure --json`` document.
+        if "metrics" in snapshot and "series" not in next(
+            iter(snapshot.values()), {}
+        ):
+            snapshot = snapshot["metrics"]
+        print(render_text(snapshot), end="")
+        return 0
+
+    # No snapshot given: run a fresh instrumented workload and report.
+    instr = Instrumentation()
+    scenario = _scenario(args, instrumentation=instr)
+    source = scenario.sources()[args.source_index]
+    engine = scenario.engine(source, args.variant)
+    for dst in scenario.responsive_destinations(
+        args.count, options_only=True
+    ):
+        engine.measure(dst)
+    print(instr.registry.render_prometheus(), end="")
     return 0
 
 
@@ -111,6 +190,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="revtr2.0",
         help="system variant (e.g. revtr2.0, revtr1.0)",
     )
+    measure.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output: results, traces, metrics",
+    )
+    measure.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the metrics JSON snapshot to FILE",
+    )
     measure.set_defaults(func=_cmd_measure)
 
     asymmetry = sub.add_parser(
@@ -128,7 +217,28 @@ def build_parser() -> argparse.ArgumentParser:
     survey = sub.add_parser(
         "survey", help="record-route responsiveness survey"
     )
+    survey.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (counts, fractions, CDFs)",
+    )
     survey.set_defaults(func=_cmd_survey)
+
+    stats = sub.add_parser(
+        "stats",
+        help="Prometheus-style metrics exposition",
+    )
+    stats.add_argument(
+        "--from",
+        dest="from_file",
+        metavar="FILE",
+        help="render a saved snapshot (measure --metrics-out/--json) "
+        "instead of running a workload",
+    )
+    stats.add_argument("--count", type=int, default=3)
+    stats.add_argument("--source-index", type=int, default=0)
+    stats.add_argument("--variant", default="revtr2.0")
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 

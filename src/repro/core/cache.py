@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Optional, Tuple
 
+from repro.obs.instrument import NULL
 from repro.sim.clock import VirtualClock
 
 #: Default entry lifetime: one day (paper: daily refresh).
@@ -26,9 +27,24 @@ class CacheStats:
     expirations: int = 0
 
     @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
+        # Guarded: zero lookups must read as 0.0, not raise.
+        total = self.lookups
         return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Uniform scrape format for the observability layer."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "expirations": self.expirations,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
 
 
 class MeasurementCache:
@@ -44,7 +60,33 @@ class MeasurementCache:
         self.ttl = ttl
         self.enabled = enabled
         self.stats = CacheStats()
+        #: instrumentation sink; rewired by the engine when enabled
+        self.obs = NULL
         self._entries: Dict[Hashable, Tuple[float, Any]] = {}
+
+    def _on_obs_attached(self, instrumentation) -> None:
+        """Mirror :class:`CacheStats` into ``cache_lookups_total``.
+
+        Pull-style: the stats object already tallies every lookup, so
+        ``get`` pays nothing extra; an expired lookup counts as both a
+        miss (in stats) and an ``expired`` metric outcome.
+        """
+        if instrumentation.enabled:
+            instrumentation.register_collect_source(self._obs_collect)
+
+    def _obs_collect(self) -> Dict:
+        stats = self.stats
+        return {
+            ("cache_lookups_total", (("outcome", "hit"),)): float(
+                stats.hits
+            ),
+            ("cache_lookups_total", (("outcome", "miss"),)): float(
+                stats.misses - stats.expirations
+            ),
+            ("cache_lookups_total", (("outcome", "expired"),)): float(
+                stats.expirations
+            ),
+        }
 
     def get(self, key: Hashable) -> Optional[Any]:
         """Return the cached value, or None on miss/expiry/disabled."""

@@ -114,6 +114,37 @@ class ReverseTracerouteResult:
         )
         return from_atlas / len(self.hops)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable view (``repro measure --json``)."""
+        return {
+            "src": str(self.src),
+            "dst": str(self.dst),
+            "status": self.status.value,
+            "duration": self.duration,
+            "hops": [
+                {
+                    "addr": str(hop.addr),
+                    "technique": hop.technique.value,
+                    **(
+                        {"assumed_link": hop.assumed_link}
+                        if hop.assumed_link is not None
+                        else {}
+                    ),
+                }
+                for hop in self.hops
+            ],
+            "probe_counts": dict(self.probe_counts),
+            "stale_intersection": self.stale_intersection,
+            "intersection_vp": (
+                None
+                if self.intersection_vp is None
+                else str(self.intersection_vp)
+            ),
+            "suspected_violations": [
+                str(addr) for addr in self.suspected_violations
+            ],
+        }
+
     def render(self) -> str:
         """Human-readable multi-line rendering."""
         lines = [

@@ -45,6 +45,7 @@ from repro.core.result import (
 from repro.core.rr_atlas import RRAtlas
 from repro.core.symmetry import LinkType, SymmetryPolicy, SymmetryStepper
 from repro.net.addr import Address, is_private, slash30_peer
+from repro.obs.runtime import attach, get_default
 from repro.probing.prober import Prober
 
 
@@ -113,6 +114,7 @@ class RevtrEngine:
         adjacency: Optional[AdjacencyDatabase] = None,
         cache: Optional[MeasurementCache] = None,
         spoofers: Sequence[Address] = (),
+        instrumentation=None,
     ) -> None:
         self.prober = prober
         self.source = source
@@ -132,6 +134,32 @@ class RevtrEngine:
             )
         )
         self.cache.enabled = self.config.use_cache
+        #: observability facade (metrics + tracing); the NULL default
+        #: makes every instrumented call a no-op.  Components still on
+        #: the null default inherit the engine's sink so one parameter
+        #: instruments the whole measurement path.
+        self.obs = (
+            instrumentation if instrumentation is not None else get_default()
+        )
+        attach(self.obs, self.cache, self.atlas, self.rr_atlas)
+        # Per-hop counters are plain tallies mirrored into the registry
+        # at collection time (pull-style), so the measurement loop pays
+        # a dict increment, not a registry update, per step.
+        self._obs_on = bool(self.obs.enabled)
+        self._t_steps: Dict[str, int] = {
+            kind: 0
+            for kind in (
+                "intersect_hit", "intersect_miss", "rr_direct",
+                "rr_spoofed", "ts", "symmetry",
+            )
+        }
+        self._t_measurements: Dict[str, int] = {}
+        self._t_hops: Dict[str, int] = {}
+        #: intersect attempts in the measurement in flight (annotated
+        #: onto the root span when it closes)
+        self._m_intersects = 0
+        if self._obs_on:
+            self.obs.register_collect_source(self._obs_collect)
         self.spoofers = list(spoofers)
         self.symmetry = SymmetryStepper(
             prober, ip2as, source, cache=self.cache
@@ -145,6 +173,35 @@ class RevtrEngine:
     # ------------------------------------------------------------------
     # Bootstrap helpers
     # ------------------------------------------------------------------
+
+    def _step(self, kind: str) -> None:
+        """Tally one ``revtr_steps_total{kind=...}`` step.
+
+        Unconditional, like the prober's :class:`ProbeCounter` — step
+        counts are engine state (see :attr:`step_counts`); attached
+        instrumentation mirrors them at collection time.
+        """
+        self._t_steps[kind] += 1
+
+    @property
+    def step_counts(self) -> Dict[str, int]:
+        """Technique steps taken so far, keyed by kind."""
+        return dict(self._t_steps)
+
+    def _obs_collect(self) -> Dict:
+        out = {}
+        for kind, n in self._t_steps.items():
+            if n:
+                out[("revtr_steps_total", (("kind", kind),))] = float(n)
+        for status, n in self._t_measurements.items():
+            out[
+                ("revtr_measurements_total", (("status", status),))
+            ] = float(n)
+        for technique, n in self._t_hops.items():
+            out[
+                ("revtr_hops_total", (("technique", technique),))
+            ] = float(n)
+        return out
 
     def _harvest_terminal_from_atlas(self) -> None:
         """Learn the source's first-hop addresses from atlas tails."""
@@ -177,54 +234,94 @@ class RevtrEngine:
     # ------------------------------------------------------------------
 
     def _intersect(self, current: Address) -> Optional[Intersection]:
+        # A miss is a handful of dict lookups — tallied (the
+        # ``revtr_steps_total{kind="intersect_miss"}`` counter and the
+        # atlas's own hit/miss series) but not worth a tree node.  A
+        # hit ends the measurement, so it gets a marker span carrying
+        # the intersection details; the stitch span that follows holds
+        # the interesting timing.
+        self._m_intersects += 1
+        hit, via = self._intersect_lookup(current)
+        if hit is None:
+            self._step("intersect_miss")
+            return None
+        self._step("intersect_hit")
+        with self.obs.span(
+            "atlas.intersect", hop=str(current), via=via
+        ) as span:
+            span.annotate(vp=str(hit.vp), index=hit.index)
+        return hit
+
+    def _intersect_lookup(
+        self, current: Address
+    ) -> Tuple[Optional[Intersection], str]:
+        """The raw lookup; returns (hit, which index answered)."""
         hit = self.atlas.lookup(current)
         if hit is not None:
-            return hit
+            return hit, "atlas"
         if self.config.use_rr_atlas and self.rr_atlas is not None:
             hit = self.rr_atlas.lookup(current)
             if hit is not None:
-                return hit
+                return hit, "rr-atlas"
         if self.config.use_alias_intersection:
             peer = slash30_peer(current)
             if peer is not None:
                 hit = self.atlas.lookup(peer)
                 if hit is not None:
-                    return hit
+                    return hit, "slash30-peer"
             group = self.resolver.group_of(current)
             if group is not None:
                 for alias in self._atlas_by_group.get(group, ()):
                     hit = self.atlas.lookup(alias)
                     if hit is not None:
-                        return hit
-        return None
+                        return hit, "itdk-alias"
+        return None, "miss"
 
     def _rr_step(
         self, current: Address
     ) -> Tuple[List[Address], HopTechnique]:
         """Try to reveal reverse hops from *current* with record route."""
-        key = ("rr-step", self.source, current)
-        cached = self.cache.get(key)
-        if cached is not None:
-            return cached
+        with self.obs.span("rr.step", hop=str(current)) as span:
+            key = ("rr-step", self.source, current)
+            cached = self.cache.get(key)
+            if cached is not None:
+                span.annotate(cached=True, revealed=len(cached[0]))
+                return cached
 
-        result = self.prober.rr_ping(self.source, current)
-        if result.responded and result.reverse_hops():
-            outcome = (result.reverse_hops(), HopTechnique.RR)
-            self.cache.put(key, outcome)
-            return outcome
-
-        for results in self._spoofed_batches(current):
-            best = max(results, key=lambda r: len(r.reverse_hops()))
-            if best.reverse_hops():
-                outcome = (
-                    best.reverse_hops(),
-                    HopTechnique.SPOOFED_RR,
+            result = self.prober.rr_ping(self.source, current)
+            self._step("rr_direct")
+            if result.responded and result.reverse_hops():
+                outcome = (result.reverse_hops(), HopTechnique.RR)
+                span.annotate(
+                    direct_responded=True,
+                    technique="rr",
+                    revealed=len(outcome[0]),
                 )
                 self.cache.put(key, outcome)
                 return outcome
-        outcome = ([], HopTechnique.SPOOFED_RR)
-        self.cache.put(key, outcome)
-        return outcome
+
+            for results in self._spoofed_batches(current):
+                best = max(results, key=lambda r: len(r.reverse_hops()))
+                if best.reverse_hops():
+                    outcome = (
+                        best.reverse_hops(),
+                        HopTechnique.SPOOFED_RR,
+                    )
+                    span.annotate(
+                        direct_responded=result.responded,
+                        technique="spoofed-rr",
+                        revealed=len(outcome[0]),
+                    )
+                    self.cache.put(key, outcome)
+                    return outcome
+            outcome = ([], HopTechnique.SPOOFED_RR)
+            span.annotate(
+                direct_responded=result.responded,
+                technique="spoofed-rr",
+                revealed=0,
+            )
+            self.cache.put(key, outcome)
+            return outcome
 
     def _spoofed_batches(self, current: Address):
         """Yield spoofed-RR result batches for *current*.
@@ -247,9 +344,7 @@ class RevtrEngine:
                 ]
                 if not batch:
                     return
-                results = self.prober.spoofed_rr_batch(
-                    batch, current, spoof_as=self.source
-                )
+                results = self._instrumented_batch(current, batch)
                 for probe_result in results:
                     session.observe(
                         probe_result.vp, probe_result.slots
@@ -262,9 +357,20 @@ class RevtrEngine:
             vps = [vp for vp in batch if vp != self.source]
             if not vps:
                 continue
-            yield self.prober.spoofed_rr_batch(
+            yield self._instrumented_batch(current, vps)
+
+    def _instrumented_batch(self, current: Address, vps):
+        with self.obs.span(
+            "rr.spoofed_batch", hop=str(current), vps=len(vps)
+        ) as span:
+            results = self.prober.spoofed_rr_batch(
                 vps, current, spoof_as=self.source
             )
+            span.annotate(
+                responses=sum(1 for r in results if r.responded)
+            )
+        self._step("rr_spoofed")
+        return results
 
     def _refresh_intersection(self, hit, current: Address):
         """Re-measure an over-age atlas traceroute online (Appendix A's
@@ -317,44 +423,71 @@ class RevtrEngine:
         """
         if self.adjacency is None:
             return None
-        candidates: List[Address] = []
-        peer = slash30_peer(current)
-        if peer is not None:
-            candidates.append(peer)
-        candidates += self.adjacency.neighbors(
-            current,
-            aliases=[peer] if peer else None,
-            limit=self.config.max_adjacencies,
-        )
-        seen_candidates: Set[Address] = set()
-        candidates = [
-            c
-            for c in candidates
-            if not (c in seen_candidates or seen_candidates.add(c))
-        ][: self.config.max_adjacencies]
-        for adj in candidates:
-            result = self.prober.ts_ping(
-                self.source, current, [current, adj]
+        with self.obs.span("ts.step", hop=str(current)) as span:
+            self._step("ts")
+            candidates: List[Address] = []
+            peer = slash30_peer(current)
+            if peer is not None:
+                candidates.append(peer)
+            candidates += self.adjacency.neighbors(
+                current,
+                aliases=[peer] if peer else None,
+                limit=self.config.max_adjacencies,
             )
-            if not result.responded and self.spoofers:
+            seen_candidates: Set[Address] = set()
+            candidates = [
+                c
+                for c in candidates
+                if not (c in seen_candidates or seen_candidates.add(c))
+            ][: self.config.max_adjacencies]
+            span.annotate(candidates=len(candidates))
+            for adj in candidates:
                 result = self.prober.ts_ping(
-                    self.spoofers[0],
-                    current,
-                    [current, adj],
-                    spoof_as=self.source,
+                    self.source, current, [current, adj]
                 )
-            if result.adjacency_on_reverse_path:
-                return adj
-        return None
+                if not result.responded and self.spoofers:
+                    result = self.prober.ts_ping(
+                        self.spoofers[0],
+                        current,
+                        [current, adj],
+                        spoof_as=self.source,
+                    )
+                if result.adjacency_on_reverse_path:
+                    span.annotate(adjacent=str(adj))
+                    return adj
+            span.annotate(adjacent=None)
+            return None
 
     # ------------------------------------------------------------------
     # The measurement loop
     # ------------------------------------------------------------------
 
     def measure(self, dst: Address) -> ReverseTracerouteResult:
-        """Measure the reverse path from *dst* back to the source."""
+        """Measure the reverse path from *dst* back to the source.
+
+        With live instrumentation, each call produces one trace tree
+        rooted at a ``revtr.measure`` span (readable off
+        ``engine.obs.tracer``) and bumps the ``revtr_*`` metrics; with
+        the null facade the control flow is byte-for-byte the same.
+        """
+        with self.obs.span(
+            "revtr.measure",
+            src=str(self.source),
+            dst=str(dst),
+            variant=self.config.variant_name(),
+        ) as span:
+            result = self._measure(dst)
+            span.annotate(
+                status=result.status.value,
+                hops=len(result.hops),
+                intersect_attempts=self._m_intersects,
+            )
+        return result
+
+    def _measure(self, dst: Address) -> ReverseTracerouteResult:
         clock = self.prober.clock
         start_time = clock.now()
+        self._m_intersects = 0
         counts_before = Counter(self.prober.counter.counts)
 
         result = ReverseTracerouteResult(
@@ -362,7 +495,15 @@ class RevtrEngine:
         )
 
         if self.config.ping_check:
-            if self.prober.ping(self.source, dst) is None:
+            # Annotated on the root span rather than opening a span of
+            # its own: a single ping is not worth a tree node on the
+            # measurement hot path.
+            alive = self.prober.ping(self.source, dst) is not None
+            if self._obs_on:
+                root = self.obs.tracer.active_span
+                if root is not None:
+                    root.annotate(ping_check=alive)
+            if not alive:
                 result.status = RevtrStatus.UNRESPONSIVE
                 self._finish(result, start_time, counts_before)
                 return result
@@ -397,16 +538,28 @@ class RevtrEngine:
                 result.stale_intersection = self.atlas.is_stale(
                     hit, clock.now()
                 )
+                if result.stale_intersection:
+                    self.obs.inc("atlas_stale_intersections_total")
                 self.atlas.mark_useful(hit.vp)
-                for addr in self.atlas.suffix(hit):
-                    technique = (
-                        HopTechnique.SOURCE
-                        if addr == source
-                        else HopTechnique.INTERSECTION
+                with self.obs.span(
+                    "stitch", vp=str(hit.vp), index=hit.index
+                ) as stitch:
+                    before = len(hops)
+                    for addr in self.atlas.suffix(hit):
+                        technique = (
+                            HopTechnique.SOURCE
+                            if addr == source
+                            else HopTechnique.INTERSECTION
+                        )
+                        hops.append(ReverseHop(addr, technique))
+                    if hops[-1].addr != source:
+                        hops.append(
+                            ReverseHop(source, HopTechnique.SOURCE)
+                        )
+                    stitch.annotate(
+                        hops=len(hops) - before,
+                        stale=result.stale_intersection,
                     )
-                    hops.append(ReverseHop(addr, technique))
-                if hops[-1].addr != source:
-                    hops.append(ReverseHop(source, HopTechnique.SOURCE))
                 status = RevtrStatus.COMPLETE
                 break
 
@@ -452,7 +605,20 @@ class RevtrEngine:
                     current = adjacent
                     continue
 
-            outcome = self.symmetry.step(current)
+            with self.obs.span(
+                "symmetry.assume", hop=str(current)
+            ) as sym_span:
+                outcome = self.symmetry.step(current)
+                sym_span.annotate(
+                    link=outcome.link.value,
+                    penultimate=(
+                        None
+                        if outcome.penultimate is None
+                        else str(outcome.penultimate)
+                    ),
+                    adjacent_to_source=outcome.adjacent_to_source,
+                )
+            self._step("symmetry")
             if outcome.traceroute is not None:
                 first = next(
                     (h for h in outcome.traceroute.hops if h is not None),
@@ -461,6 +627,9 @@ class RevtrEngine:
                 if first is not None:
                     self._terminal.add(first)
             if outcome.adjacent_to_source:
+                self.obs.inc(
+                    "revtr_fallbacks_total", outcome="adjacent-source"
+                )
                 hops.append(ReverseHop(source, HopTechnique.SOURCE))
                 status = RevtrStatus.COMPLETE
                 break
@@ -468,14 +637,26 @@ class RevtrEngine:
                 outcome.penultimate is None
                 or outcome.penultimate in seen
             ):
+                self.obs.inc(
+                    "revtr_fallbacks_total", outcome="dead-end"
+                )
                 status = RevtrStatus.INCOMPLETE
                 break
             if (
                 self.config.symmetry is SymmetryPolicy.INTRADOMAIN_ONLY
                 and outcome.link is not LinkType.INTRA
             ):
+                self.obs.inc(
+                    "revtr_fallbacks_total",
+                    outcome="aborted-interdomain",
+                )
                 status = RevtrStatus.ABORTED_INTERDOMAIN
                 break
+            self.obs.inc(
+                "revtr_fallbacks_total",
+                outcome="adopted",
+                link=outcome.link.value,
+            )
             hops.append(
                 ReverseHop(
                     outcome.penultimate,
@@ -510,4 +691,15 @@ class RevtrEngine:
         if result.hops:
             result.flagged_as_path = flag_suspicious_links(
                 result.addresses(), self.ip2as, self.relationships
+            )
+        status = result.status.value
+        self._t_measurements[status] = (
+            self._t_measurements.get(status, 0) + 1
+        )
+        for technique, n in result.hops_by_technique().items():
+            value = technique.value
+            self._t_hops[value] = self._t_hops.get(value, 0) + n
+        if self._obs_on:
+            self.obs.observe(
+                "revtr_measure_duration_seconds", result.duration
             )

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.addr import Address, same_slash30, same_slash31, slash30_peer
 from repro.core.atlas import Intersection, TracerouteAtlas
+from repro.obs.instrument import NULL
 from repro.probing.budget import ProbeCounter
 from repro.probing.prober import Prober, RRPingResult
 
@@ -25,6 +26,10 @@ class RRAtlas:
 
     def __init__(self, atlas: TracerouteAtlas) -> None:
         self.atlas = atlas
+        #: instrumentation sink; rewired by the engine when enabled
+        self.obs = NULL
+        self._obs_hits = 0
+        self._obs_misses = 0
         #: RR-visible address -> (vp, traceroute index) it intersects at
         self._mapping: Dict[Address, Tuple[Address, int]] = {}
         self.probes_sent = 0
@@ -119,11 +124,28 @@ class RRAtlas:
     # Queries
     # ------------------------------------------------------------------
 
+    def _on_obs_attached(self, instrumentation) -> None:
+        if instrumentation.enabled:
+            instrumentation.register_collect_source(self._obs_collect)
+
+    def _obs_collect(self) -> Dict:
+        key = ("atlas", "rr")
+        return {
+            ("atlas_lookups_total", (key, ("outcome", "hit"))): float(
+                self._obs_hits
+            ),
+            ("atlas_lookups_total", (key, ("outcome", "miss"))): float(
+                self._obs_misses
+            ),
+        }
+
     def lookup(self, addr: Address) -> Optional[Intersection]:
         """Intersection for an RR-visible alias, if registered."""
         entry = self._mapping.get(addr)
         if entry is None:
+            self._obs_misses += 1
             return None
+        self._obs_hits += 1
         vp, index = entry
         trace = self.atlas.traceroutes.get(vp)
         if trace is None:

@@ -37,6 +37,7 @@ from repro.core.revtr import EngineConfig, RevtrEngine
 from repro.core.revtr_legacy import legacy_engine_config
 from repro.core.rr_atlas import RRAtlas
 from repro.net.addr import Address
+from repro.obs.runtime import attach, get_default
 from repro.probing.budget import ProbeCounter
 from repro.probing.prober import Prober
 from repro.probing.vantage import VantagePointPool
@@ -74,6 +75,7 @@ class Scenario:
         config: Optional[TopologyConfig] = None,
         seed: int = 0,
         atlas_size: int = 40,
+        instrumentation=None,
     ) -> None:
         self.config = (
             config if config is not None else TopologyConfig.small(seed)
@@ -82,16 +84,28 @@ class Scenario:
         self.atlas_size = atlas_size
         self.rng = random.Random(seed ^ 0xA11A5)
 
+        #: one observability sink for the whole deployment (simulator,
+        #: probers, engines); NULL unless passed or globally enabled
+        self.obs = (
+            instrumentation if instrumentation is not None else get_default()
+        )
+
         self.internet: Internet = build_internet(self.config)
         self.pool = VantagePointPool(self.internet)
         self.clock = VirtualClock()
+        if self.obs.tracer is not None and self.obs.tracer.clock is None:
+            # Late-bind the sim clock so spans record sim durations.
+            self.obs.tracer.clock = self.clock
+        attach(self.obs, self.internet)
         self.online_counter = ProbeCounter()
         self.background_counter = ProbeCounter()
         self.online_prober = Prober(
-            self.internet, self.clock, self.online_counter
+            self.internet, self.clock, self.online_counter,
+            instrumentation=self.obs,
         )
         self.background_prober = Prober(
-            self.internet, self.clock, self.background_counter
+            self.internet, self.clock, self.background_counter,
+            instrumentation=self.obs,
         )
 
         self.ip2as = IPToASMapper(self.internet)
@@ -271,6 +285,7 @@ class Scenario:
                 self.clock, enabled=engine_config.use_cache
             ),
             spoofers=self.spoofer_addrs,
+            instrumentation=self.obs,
         )
         if config is None:
             bundle.engines[variant] = engine

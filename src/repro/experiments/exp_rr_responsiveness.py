@@ -72,6 +72,20 @@ class EpochSurvey:
             / rr,
         }
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable view (``repro survey --json``)."""
+        return {
+            "label": self.label,
+            "probed": self.probed,
+            "ping_responsive": self.ping_responsive,
+            "rr_responsive": self.rr_responsive,
+            "reachable8": self.reachable8,
+            "fractions": self.fractions(),
+            "distance_cdf": [
+                list(point) for point in self.distance_cdf()
+            ],
+        }
+
     def distance_cdf(self) -> List[Tuple[int, float]]:
         """Fig 11 series: (hops, fraction of RR-responsive <= hops)."""
         rr = max(1, self.rr_responsive)
@@ -84,6 +98,15 @@ class EpochSurvey:
 @dataclass
 class RRResponsivenessResult:
     surveys: Dict[str, EpochSurvey]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "surveys": {
+                label: survey.as_dict()
+                for label, survey in self.surveys.items()
+            },
+            "paper_reference": PAPER,
+        }
 
 
 def _survey(

@@ -1,0 +1,62 @@
+"""Observability: metrics, per-measurement tracing, introspection.
+
+The package has three layers:
+
+* :mod:`repro.obs.metrics` — a thread-safe registry of counters,
+  gauges, and fixed-bucket histograms with labeled children;
+* :mod:`repro.obs.tracing` — a span tracer that records one structured
+  trace tree per reverse traceroute, with wall-clock *and* sim-clock
+  durations;
+* :mod:`repro.obs.instrument` — the facade the rest of the codebase
+  talks to.  Instrumented call sites hold an ``obs`` attribute that is
+  either a live :class:`~repro.obs.instrument.Instrumentation` or the
+  :data:`~repro.obs.instrument.NULL` null object, so hot paths pay
+  near-zero cost when observability is off.
+
+:mod:`repro.obs.exposition` renders registry snapshots in the
+Prometheus text format, and :mod:`repro.obs.runtime` holds the
+process-wide default instrumentation plus the runtime-introspection
+helpers used by ``repro stats`` and
+:meth:`repro.service.api.RevtrService.metrics_snapshot`.
+"""
+
+from repro.obs.exposition import render_text
+from repro.obs.instrument import (
+    NULL,
+    BoundCounter,
+    Instrumentation,
+    NullInstrumentation,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.runtime import (
+    disable,
+    enable,
+    get_default,
+    introspect,
+    set_default,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "BoundCounter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL",
+    "NullInstrumentation",
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "get_default",
+    "introspect",
+    "render_text",
+    "set_default",
+]

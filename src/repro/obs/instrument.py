@@ -1,0 +1,273 @@
+"""The instrumentation facade.
+
+Instrumented code holds an ``obs`` attribute and calls a tiny surface:
+
+* ``obs.span(name, **attrs)`` — a context manager opening a trace span;
+* ``obs.inc(name, n=1, **labels)`` — bump a counter;
+* ``obs.observe(name, value, **labels)`` — record a histogram sample;
+* ``obs.set_gauge(name, value, **labels)`` — set a gauge;
+* ``obs.enabled`` — cheap guard for computations only worth doing when
+  somebody is watching.
+
+Two implementations exist: :class:`Instrumentation` (live registry +
+tracer) and :class:`NullInstrumentation`, whose shared :data:`NULL`
+singleton is the default everywhere — every method is a ``pass`` and
+``span`` returns one reusable null context manager, so hot paths pay a
+single attribute lookup and call when observability is off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from repro.obs.tracing import Tracer
+
+#: Metric declarations: name -> (type, help, histogram buckets).  The
+#: live facade pre-registers these so expositions carry HELP text and
+#: histograms get their intended bucket grids; call sites may still
+#: emit undeclared metrics, which are created on first use.
+DECLARED_METRICS: Dict[str, Tuple[str, str, Optional[Sequence[float]]]] = {
+    "probes_sent_total": (
+        "counter",
+        "Probes issued through a Prober, by packet kind.",
+        None,
+    ),
+    "revtr_measurements_total": (
+        "counter",
+        "Completed RevtrEngine.measure() calls, by final status.",
+        None,
+    ),
+    "revtr_steps_total": (
+        "counter",
+        "Measurement-loop technique invocations, by step kind.",
+        None,
+    ),
+    "revtr_hops_total": (
+        "counter",
+        "Reverse hops adopted into results, by discovering technique.",
+        None,
+    ),
+    "revtr_fallbacks_total": (
+        "counter",
+        "Assume-symmetry fallback decisions, by outcome.",
+        None,
+    ),
+    "revtr_measure_duration_seconds": (
+        "histogram",
+        "Sim-clock duration of one reverse traceroute.",
+        DEFAULT_TIME_BUCKETS,
+    ),
+    "cache_lookups_total": (
+        "counter",
+        "Measurement-cache lookups, by outcome (hit/miss/expired).",
+        None,
+    ),
+    "atlas_lookups_total": (
+        "counter",
+        "Traceroute/RR atlas intersection lookups, by atlas and outcome.",
+        None,
+    ),
+    "atlas_stale_intersections_total": (
+        "counter",
+        "Accepted intersections older than the staleness bound.",
+        None,
+    ),
+    "sim_probes_total": (
+        "counter",
+        "Probes walked by the simulated Internet, by outcome.",
+        None,
+    ),
+    "sim_drops_total": (
+        "counter",
+        "Probes the simulator dropped, by drop reason.",
+        None,
+    ),
+    "sim_hops_traversed_total": (
+        "counter",
+        "Router hops traversed across forward and reply walks.",
+        None,
+    ),
+    "service_requests_total": (
+        "counter",
+        "RevtrService requests, by user and result status.",
+        None,
+    ),
+    "service_request_duration_seconds": (
+        "histogram",
+        "Sim-clock latency of one service request.",
+        DEFAULT_TIME_BUCKETS,
+    ),
+}
+
+
+class _NullSpan:
+    """A reusable no-op span/context-manager."""
+
+    __slots__ = ()
+    attrs: Dict[str, Any] = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullInstrumentation:
+    """Observability turned off: every operation is a no-op."""
+
+    enabled = False
+    registry: Optional[MetricsRegistry] = None
+    tracer: Optional[Tracer] = None
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def inc(self, name: str, n: float = 1.0, **labels: Any) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+
+#: The process-wide null object.  Identity-compared by wiring code
+#: ("is the obs on this component still the default?"), so there should
+#: be exactly one.
+NULL = NullInstrumentation()
+
+
+class BoundCounter:
+    """A call-site cache for one labelled counter series.
+
+    Code that bumps the same counter on every probe keeps one of these
+    and passes its current ``obs`` on each call; the child series is
+    re-resolved only when the instrumentation object changes (e.g.
+    after :func:`repro.obs.runtime.attach`), so the steady-state cost
+    is one identity check plus the child increment.  Guard calls with
+    ``obs.enabled`` — the null facade has no registry to resolve from.
+    """
+
+    __slots__ = ("name", "label_kwargs", "_obs", "_child")
+
+    def __init__(self, name: str, **labels: Any) -> None:
+        self.name = name
+        self.label_kwargs = labels
+        self._obs: Optional["Instrumentation"] = None
+        self._child = None
+
+    def inc(self, obs: "Instrumentation", n: float = 1.0) -> None:
+        if obs is not self._obs:
+            self._child = obs.registry.counter(self.name).labels(
+                **self.label_kwargs
+            )
+            self._obs = obs
+        self._child.inc(n)
+
+
+class Instrumentation:
+    """Live instrumentation: a metrics registry plus a tracer."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock=None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(clock=clock)
+        # Hot-path cache: (name, *label items) -> child series.  Call
+        # sites pass labels as keyword literals, so per-site ordering
+        # is stable and no sorting is needed on the fast path (the
+        # registry itself canonicalises label order, so two orderings
+        # of the same labels still share one series).
+        self._series: Dict[Any, Any] = {}
+        # Pull-style sources: callables returning
+        # {(metric_name, ((label, value), ...)): tally}.  Their tallies
+        # are summed per series and mirrored into the registry at
+        # collection (snapshot/exposition) time, so per-probe hot paths
+        # pay a plain Python increment instead of a registry update.
+        self._collect_sources: List[Any] = []
+        for name, (kind, help, buckets) in DECLARED_METRICS.items():
+            if kind == "counter":
+                self.registry.counter(name, help)
+            elif kind == "gauge":
+                self.registry.gauge(name, help)
+            else:
+                self.registry.histogram(name, help, buckets=buckets)
+        self.registry.register_collector(self._collect)
+        # Spans are the hottest facade call (~10 per measurement);
+        # binding the tracer's method directly skips one Python frame
+        # per span.
+        self.span = self.tracer.span
+
+    # -- pull-style collection ------------------------------------------
+
+    def register_collect_source(self, source) -> None:
+        """Register a tally source mirrored into counters on snapshot.
+
+        *source* is a callable returning ``{(name, label_items): n}``
+        where ``label_items`` is a tuple of ``(label, value)`` pairs.
+        Sources are deduplicated by equality, and tallies from distinct
+        sources targeting the same series are summed (several probers
+        may mirror into one ``probes_sent_total`` family).
+        """
+        if source not in self._collect_sources:
+            self._collect_sources.append(source)
+
+    def _collect(self) -> None:
+        totals: Dict[Any, float] = {}
+        for source in list(self._collect_sources):
+            for (name, label_items), value in source().items():
+                # Canonicalise label order so sources spelling the same
+                # series differently still sum into one total.
+                key = (name, tuple(sorted(label_items)))
+                totals[key] = totals.get(key, 0.0) + value
+        for (name, label_items), value in totals.items():
+            self.registry.counter(name).labels(
+                **dict(label_items)
+            ).set_total(value)
+
+    # -- tracing --------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        # Shadowed by the bound ``tracer.span`` in ``__init__`` on the
+        # hot path; kept so the facade surface stays self-documenting.
+        return self.tracer.span(name, **attrs)
+
+    # -- metrics --------------------------------------------------------
+
+    def inc(self, name: str, n: float = 1.0, **labels: Any) -> None:
+        key = (name, *labels.items())
+        child = self._series.get(key)
+        if child is None:
+            child = self.registry.counter(name).labels(**labels)
+            self._series[key] = child
+        child.inc(n)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        key = (name, *labels.items())
+        child = self._series.get(key)
+        if child is None:
+            child = self.registry.histogram(name).labels(**labels)
+            self._series[key] = child
+        child.observe(value)
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        key = (name, *labels.items())
+        child = self._series.get(key)
+        if child is None:
+            child = self.registry.gauge(name).labels(**labels)
+            self._series[key] = child
+        child.set(value)

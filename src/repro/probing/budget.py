@@ -38,7 +38,22 @@ class ProbeCounter:
         return {kind.value: self.counts[kind] for kind in ProbeKind}
 
     def merged(self, others: Iterable["ProbeCounter"]) -> "ProbeCounter":
-        merged = ProbeCounter(Counter(self.counts))
+        """Sum of this counter and *others*, as a **detached** counter.
+
+        Contract:
+
+        * the result is a snapshot — mutating it never touches the
+          inputs, and neither input counts nor input ``parent`` links
+          are mutated by the merge;
+        * the result's ``parent`` is deliberately ``None``: the inputs
+          may already roll up into parents (possibly the *same*
+          parent), so propagating a merged total would double-count —
+          merged counters are for reporting, not for recording;
+        * iteration order of the result follows ``ProbeKind``
+          declaration order via :meth:`snapshot`, regardless of the
+          order probes were recorded in the inputs.
+        """
+        merged = ProbeCounter(Counter(self.counts), parent=None)
         for other in others:
             merged.counts.update(other.counts)
         return merged

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.net.addr import Address
 from repro.net.options import RecordRouteOption, TimestampOption
 from repro.net.packet import EchoReply, Probe, ProbeKind
+from repro.obs.runtime import get_default
 from repro.probing.budget import ProbeCounter
 from repro.probing.ratelimit import TokenBucket
 from repro.sim.clock import VirtualClock
@@ -113,12 +114,20 @@ class Prober:
         clock: Optional[VirtualClock] = None,
         counter: Optional[ProbeCounter] = None,
         vp_rate_pps: float = 100.0,
+        instrumentation=None,
     ) -> None:
         self.internet = internet
         self.clock = clock if clock is not None else VirtualClock()
         self.counter = counter if counter is not None else ProbeCounter()
         self.vp_rate_pps = vp_rate_pps
+        #: observability sink; probe counts are mirrored into the
+        #: ``probes_sent_total`` metric alongside the ProbeCounter
+        self.obs = (
+            instrumentation if instrumentation is not None else get_default()
+        )
         self._buckets: Dict[Address, TokenBucket] = {}
+        if self.obs.enabled:
+            self._on_obs_attached(self.obs)
 
     # ------------------------------------------------------------------
     # Internals
@@ -132,6 +141,22 @@ class Prober:
             )
             self._buckets[vp] = bucket
         return bucket
+
+    def _on_obs_attached(self, instrumentation) -> None:
+        """Mirror the ProbeCounter into ``probes_sent_total`` on pull.
+
+        The counter already tallies every probe by kind, so the hot
+        path pays nothing extra; the metric materialises at snapshot
+        time (summed across probers sharing one instrumentation).
+        """
+        if instrumentation.enabled:
+            instrumentation.register_collect_source(self._obs_collect)
+
+    def _obs_collect(self) -> Dict:
+        return {
+            ("probes_sent_total", (("kind", kind.value),)): float(n)
+            for kind, n in self.counter.counts.items()
+        }
 
     def _charge(self, vp: Address, kind: ProbeKind) -> None:
         self._bucket(vp).acquire(1)

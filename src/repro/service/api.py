@@ -17,6 +17,7 @@ from repro.asmap.relationships import ASRelationships
 from repro.core.revtr import EngineConfig, RevtrEngine
 from repro.core.result import ReverseTracerouteResult
 from repro.net.addr import Address
+from repro.obs.runtime import get_default, introspect
 from repro.probing.prober import Prober
 from repro.service.sources import SourceRegistry
 from repro.service.store import MeasurementStore
@@ -45,6 +46,7 @@ class RevtrService:
         relationships: ASRelationships,
         resolver=None,
         engine_config: Optional[EngineConfig] = None,
+        instrumentation=None,
     ) -> None:
         self.prober = prober
         self.registry = registry
@@ -54,6 +56,10 @@ class RevtrService:
         self.resolver = resolver
         self.engine_config = (
             engine_config if engine_config is not None else EngineConfig()
+        )
+        #: observability sink shared with every per-source engine
+        self.obs = (
+            instrumentation if instrumentation is not None else get_default()
         )
         self.users = UserDatabase(prober.clock)
         self.store = MeasurementStore()
@@ -108,9 +114,38 @@ class RevtrService:
                 rr_atlas=registered.rr_atlas,
                 resolver=self.resolver,
                 spoofers=self.registry.spoofer_vps,
+                instrumentation=self.obs,
             )
             self._engines[source] = engine
         return engine
+
+    def _measure_one(
+        self, engine: RevtrEngine, dst: Address, user_name: str, label: str
+    ) -> ReverseTracerouteResult:
+        """Run one measurement with service-level accounting."""
+        with self.obs.span(
+            "service.request",
+            user=user_name,
+            src=str(engine.source),
+            dst=str(dst),
+        ) as span:
+            result = engine.measure(dst)
+            span.annotate(status=result.status.value)
+        self.obs.inc(
+            "service_requests_total",
+            user=user_name,
+            status=result.status.value,
+        )
+        self.obs.observe(
+            "service_request_duration_seconds", result.duration
+        )
+        self.store.append(
+            result,
+            user=user_name,
+            requested_at=self.prober.clock.now(),
+            label=label,
+        )
+        return result
 
     def request(
         self, request: MeasurementRequest
@@ -119,14 +154,9 @@ class RevtrService:
         user = self.users.authenticate(request.api_key)
         user.charge(self.prober.clock.now())
         engine = self._engine_for(request.src)
-        result = engine.measure(request.dst)
-        self.store.append(
-            result,
-            user=user.name,
-            requested_at=self.prober.clock.now(),
-            label=request.label,
+        return self._measure_one(
+            engine, request.dst, user.name, request.label
         )
-        return result
 
     def request_batch(
         self,
@@ -139,14 +169,28 @@ class RevtrService:
         user = self.users.authenticate(api_key)
         user.charge(self.prober.clock.now(), n=len(dsts))
         engine = self._engine_for(src)
-        results = []
-        for dst in dsts:
-            result = engine.measure(dst)
-            self.store.append(
-                result,
-                user=user.name,
-                requested_at=self.prober.clock.now(),
-                label=label,
-            )
-            results.append(result)
-        return results
+        return [
+            self._measure_one(engine, dst, user.name, label)
+            for dst in dsts
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self, include_traces: bool = False) -> Dict:
+        """The operator view: metrics, probe counters, cache stats.
+
+        JSON-serializable; non-empty (probe counters at minimum) even
+        when the service runs on the null instrumentation.
+        """
+        caches = {
+            f"engine[{source}]": engine.cache
+            for source, engine in self._engines.items()
+        }
+        return introspect(
+            instrumentation=self.obs,
+            probe_counters={"prober": self.prober.counter},
+            caches=caches,
+            include_traces=include_traces,
+        )

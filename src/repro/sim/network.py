@@ -21,6 +21,7 @@ from repro.net.host import Host
 from repro.net.options import RecordRouteOption, TimestampOption
 from repro.net.packet import EchoReply, Probe, TracerouteReply
 from repro.net.router import Router
+from repro.obs.runtime import get_default
 from repro.sim.forwarding import DestTarget, ForwardingError, choose_candidate
 from repro.topology.asgraph import ASGraph
 from repro.topology.config import TopologyConfig
@@ -102,11 +103,43 @@ class Internet:
         self.mlab_hosts: List[Address] = []
         self.atlas_hosts: List[Address] = []
 
+        #: observability sink (null by default).  Probe outcomes,
+        #: router hops traversed, and drops by reason are tallied
+        #: unconditionally as plain counters (see
+        #: :attr:`probe_outcome_counts`); attached instrumentation
+        #: mirrors them into the metrics registry at collection time.
+        self.obs = get_default()
+        self._obs_outcomes = {"delivered": 0, "ttl-expired": 0, "dropped": 0}
+        self._obs_hops = 0
+        self._obs_drops: Dict[str, int] = {}
+        if self.obs.enabled:
+            self._on_obs_attached(self.obs)
+
         self._rng = random.Random(config.seed ^ 0x5EED)
         self._ipid_counters: Dict[Address, int] = {}
         self._intra_next: Dict[Tuple[int, int], Dict[int, List[int]]] = {}
         self._intra_dist: Dict[Tuple[int, int], Dict[int, int]] = {}
         self._alt_next_as: Dict[Tuple[int, AnnouncementSpec], Optional[int]] = {}
+
+    @property
+    def probe_outcome_counts(self) -> Dict[str, int]:
+        """Probes walked so far, keyed by outcome."""
+        return dict(self._obs_outcomes)
+
+    def _on_obs_attached(self, instrumentation) -> None:
+        if instrumentation.enabled:
+            instrumentation.register_collect_source(self._obs_collect)
+
+    def _obs_collect(self) -> Dict:
+        out = {
+            ("sim_probes_total", (("outcome", outcome),)): float(n)
+            for outcome, n in self._obs_outcomes.items()
+            if n
+        }
+        out[("sim_hops_traversed_total", ())] = float(self._obs_hops)
+        for reason, n in self._obs_drops.items():
+            out[("sim_drops_total", (("reason", reason),))] = float(n)
+        return out
 
     # ------------------------------------------------------------------
     # Construction helpers (used by the generator)
@@ -317,7 +350,32 @@ class Internet:
     # ------------------------------------------------------------------
 
     def send_probe(self, probe: Probe) -> ProbeOutcome:
-        """Inject *probe* and simulate it to completion."""
+        """Inject *probe* and simulate it to completion.
+
+        Outcome statistics are tallied unconditionally — like
+        :class:`~repro.probing.budget.ProbeCounter` and
+        :class:`~repro.core.cache.CacheStats` they are first-class sim
+        state, and attached instrumentation merely mirrors them into
+        the registry at collection time.
+        """
+        outcome = self._send_probe(probe)
+        self._obs_hops += len(outcome.forward_router_path) + len(
+            outcome.reply_router_path
+        )
+        if outcome.delivered:
+            self._obs_outcomes["delivered"] += 1
+        elif outcome.te_reply is not None:
+            self._obs_outcomes["ttl-expired"] += 1
+        else:
+            self._obs_outcomes["dropped"] += 1
+            reason = outcome.drop_reason
+            if reason is not None:
+                self._obs_drops[reason] = (
+                    self._obs_drops.get(reason, 0) + 1
+                )
+        return outcome
+
+    def _send_probe(self, probe: Probe) -> ProbeOutcome:
         outcome = ProbeOutcome()
         origin_host = self.hosts.get(probe.injected_at)
         if origin_host is None:

@@ -71,3 +71,73 @@ class TestCommands:
         )
         assert code == 0
         assert "traffic engineering" in capsys.readouterr().out
+
+
+class TestJsonAndStats:
+    def test_measure_json(self, capsys):
+        import json
+
+        code = main(
+            ["--scale", "tiny", "--seed", "3",
+             "measure", "--count", "2", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["measurements"]) == 2
+        first = doc["measurements"][0]
+        assert {"src", "dst", "status", "hops", "trace"} <= set(first)
+        assert first["trace"]["name"] == "revtr.measure"
+        assert "revtr_measurements_total" in doc["metrics"]
+
+    def test_measure_metrics_out_and_stats_from(
+        self, capsys, tmp_path
+    ):
+        metrics_file = tmp_path / "metrics.json"
+        code = main(
+            ["--scale", "tiny", "--seed", "3",
+             "measure", "--count", "1",
+             "--metrics-out", str(metrics_file)]
+        )
+        assert code == 0
+        assert metrics_file.exists()
+        capsys.readouterr()
+        code = main(["stats", "--from", str(metrics_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE revtr_measurements_total counter" in out
+        assert 'revtr_measurements_total{status="' in out
+
+    def test_stats_from_measure_json_document(self, capsys, tmp_path):
+        json_file = tmp_path / "measure.json"
+        code = main(
+            ["--scale", "tiny", "--seed", "3",
+             "measure", "--count", "1", "--json"]
+        )
+        assert code == 0
+        json_file.write_text(capsys.readouterr().out)
+        code = main(["stats", "--from", str(json_file)])
+        assert code == 0
+        assert "probes_sent_total" in capsys.readouterr().out
+
+    def test_stats_fresh_workload(self, capsys):
+        code = main(
+            ["--scale", "tiny", "--seed", "3", "stats", "--count", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE revtr_measure_duration_seconds histogram" in out
+        assert "revtr_measure_duration_seconds_count" in out
+        assert 'revtr_measurements_total{status="' in out
+
+    def test_survey_json(self, capsys):
+        import json
+
+        code = main(["--seed", "3", "survey", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc["surveys"]) == {
+            "2016", "2020", "2020-with-2016-vps",
+        }
+        epoch = doc["surveys"]["2020"]
+        assert epoch["probed"] > 0
+        assert "fractions" in epoch and "distance_cdf" in epoch

@@ -86,6 +86,48 @@ class TestProbeCounter:
         assert row["Spoof RR"] == 7
         assert row["TS"] == 0
 
+    def test_merged_sums_without_mutating_inputs(self):
+        a = ProbeCounter()
+        b = ProbeCounter()
+        a.record(ProbeKind.PING, 2)
+        a.record(ProbeKind.RECORD_ROUTE)
+        b.record(ProbeKind.PING, 3)
+        merged = a.merged([b])
+        assert merged.of(ProbeKind.PING) == 5
+        assert merged.of(ProbeKind.RECORD_ROUTE) == 1
+        # Inputs untouched by the merge and by later merged mutation.
+        merged.record(ProbeKind.PING)
+        assert a.of(ProbeKind.PING) == 2
+        assert b.of(ProbeKind.PING) == 3
+
+    def test_merged_is_detached_from_parents(self):
+        """Regression: a merged counter must never roll up into the
+        inputs' parents — they may share a parent, and propagating the
+        merged totals would double-count every probe."""
+        parent = ProbeCounter()
+        a = ProbeCounter(parent=parent)
+        b = ProbeCounter(parent=parent)
+        a.record(ProbeKind.PING, 2)
+        b.record(ProbeKind.PING, 3)
+        assert parent.of(ProbeKind.PING) == 5
+        merged = a.merged([b])
+        assert merged.parent is None
+        merged.record(ProbeKind.PING, 100)
+        assert parent.of(ProbeKind.PING) == 5
+        # Input parent links survive the merge.
+        assert a.parent is parent and b.parent is parent
+
+    def test_merged_snapshot_order_is_declaration_order(self):
+        a = ProbeCounter()
+        b = ProbeCounter()
+        # Record in an order unlike ProbeKind declaration order.
+        b.record(ProbeKind.SNMP)
+        a.record(ProbeKind.TIMESTAMP)
+        merged = a.merged([b])
+        assert list(merged.snapshot()) == [
+            kind.value for kind in ProbeKind
+        ]
+
 
 class TestProber:
     def test_ping_advances_clock_by_rtt(self, tiny_internet):
