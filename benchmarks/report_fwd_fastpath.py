@@ -1,0 +1,162 @@
+"""Benchmark: forwarding fast path, cached vs. uncached.
+
+Runs the ``test_bench_scale`` workload — a stream of revtr 2.0
+measurements over a large topology — twice on identically seeded
+scenarios: once with the forwarding fast path on (FIB memoization,
+resolve/announcement caching, LPM result cache) and once with
+``Internet.enable_fastpath(False)``.  Reports the speedup, verifies
+that both runs produced byte-identical reverse-traceroute paths (the
+fast path's contract), and writes a machine-readable
+``benchmarks/reports/BENCH_fastpath.json``.
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/report_fwd_fastpath.py
+    PYTHONPATH=src python benchmarks/report_fwd_fastpath.py \
+        --scale small --measurements 30 --min-speedup 1.0   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.experiments import Scenario  # noqa: E402
+from repro.topology import TopologyConfig  # noqa: E402
+
+SEED = 11
+
+SCALES = {
+    "small": TopologyConfig.small,
+    "large": TopologyConfig.large,
+}
+
+
+def run_variant(scale: str, n_measurements: int, fastpath: bool):
+    """Build a fresh scenario and time the measurement stream.
+
+    The build (topology generation, atlas construction) is untimed;
+    the fast path's contract is about the steady-state measurement
+    stream, which is what campaign runtime is made of.
+    """
+    scenario = Scenario(
+        config=SCALES[scale](seed=SEED), seed=SEED, atlas_size=40
+    )
+    if not fastpath:
+        scenario.internet.enable_fastpath(False)
+    engine = scenario.engine(scenario.sources()[0], "revtr2.0")
+    destinations = scenario.responsive_destinations(
+        n_measurements, options_only=True
+    )
+    gc.collect()
+    start = time.perf_counter()
+    results = [engine.measure(dst) for dst in destinations]
+    elapsed = time.perf_counter() - start
+    paths = [tuple(result.addresses()) for result in results]
+    return elapsed, paths, scenario
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="large"
+    )
+    parser.add_argument("--measurements", type=int, default=200)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="fail (exit 1) below this cached/uncached ratio; "
+        "use 1.0 for CI smoke runs on small topologies where "
+        "engine overhead dominates",
+    )
+    args = parser.parse_args(argv)
+
+    elapsed_fast, paths_fast, scenario = run_variant(
+        args.scale, args.measurements, fastpath=True
+    )
+    elapsed_slow, paths_slow, _ = run_variant(
+        args.scale, args.measurements, fastpath=False
+    )
+
+    identical = paths_fast == paths_slow
+    speedup = elapsed_slow / elapsed_fast if elapsed_fast else 0.0
+    internet = scenario.internet
+    cache_stats = internet.forwarding_cache_stats()
+
+    print("forwarding fast path benchmark")
+    print(
+        f"  workload: {args.measurements} x measure(), {args.scale} "
+        f"topology (ASes: {len(internet.graph)}, routers: "
+        f"{len(internet.routers)}, hosts: {len(internet.hosts)})"
+    )
+    print(f"  uncached: {elapsed_slow * 1000:8.1f} ms")
+    print(f"  cached:   {elapsed_fast * 1000:8.1f} ms")
+    print(f"  speedup:  {speedup:8.2f} x")
+    print(f"  identical paths: {identical}")
+    for name, stats in cache_stats["caches"].items():
+        lookups = stats["hits"] + stats["misses"]
+        rate = stats["hits"] / lookups * 100.0 if lookups else 0.0
+        print(
+            f"  {name + ':':14s}{stats['hits']:9d} hits "
+            f"{stats['misses']:8d} misses  ({rate:5.1f}% hit rate, "
+            f"{stats['entries']} entries)"
+        )
+
+    payload = {
+        "benchmark": "fwd_fastpath",
+        "scale": args.scale,
+        "measurements": args.measurements,
+        "seed": SEED,
+        "topology": {
+            "ases": len(internet.graph),
+            "routers": len(internet.routers),
+            "hosts": len(internet.hosts),
+        },
+        "uncached_seconds": round(elapsed_slow, 6),
+        "cached_seconds": round(elapsed_fast, 6),
+        "speedup": round(speedup, 3),
+        "ops_per_second_cached": round(
+            args.measurements / elapsed_fast, 2
+        )
+        if elapsed_fast
+        else None,
+        "ops_per_second_uncached": round(
+            args.measurements / elapsed_slow, 2
+        )
+        if elapsed_slow
+        else None,
+        "identical_paths": identical,
+        "caches": cache_stats["caches"],
+    }
+    report_dir = os.path.join(os.path.dirname(__file__), "reports")
+    os.makedirs(report_dir, exist_ok=True)
+    path = os.path.join(report_dir, "BENCH_fastpath.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"  wrote {path}")
+
+    if not identical:
+        print("FAIL: cached and uncached paths differ", file=sys.stderr)
+        return 1
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below required "
+            f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

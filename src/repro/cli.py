@@ -34,12 +34,15 @@ def _scenario(
         "small": TopologyConfig.small,
         "evaluation": TopologyConfig.evaluation,
     }[args.scale](seed=args.seed)
-    return Scenario(
+    scenario = Scenario(
         config=config,
         seed=args.seed,
         atlas_size=args.atlas_size,
         instrumentation=instrumentation,
     )
+    if getattr(args, "no_fastpath", False):
+        scenario.internet.enable_fastpath(False)
+    return scenario
 
 
 def _write_metrics(instr: Instrumentation, path: Optional[str]) -> None:
@@ -176,6 +179,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="small",
     )
     parser.add_argument("--atlas-size", type=int, default=20)
+    parser.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help="disable the forwarding fast-path caches (FIB, resolve, "
+        "LPM); useful for timing comparisons and debugging",
+    )
 
     sub = parser.add_subparsers(dest="command", required=True)
 

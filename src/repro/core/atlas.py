@@ -132,7 +132,7 @@ class TracerouteAtlas:
         replaced = 0
         for vp in drop:
             self.remove(vp)
-        for vp in keep:
+        for vp in sorted(keep):
             trace = paris_traceroute(prober, vp, self.source)
             if trace.responsive_hops():
                 self.add(trace)

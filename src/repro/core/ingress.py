@@ -228,7 +228,10 @@ class IngressDirectory:
             info = IngressInfo(addr=pick)
             ranked = sorted(
                 covered,
-                key=lambda vp: self._distance_to(forward_paths[vp], pick),
+                key=lambda vp: (
+                    self._distance_to(forward_paths[vp], pick),
+                    vp,
+                ),
             )
             for vp in ranked:
                 info.vps.append(vp)

@@ -155,6 +155,9 @@ class RevtrEngine:
         }
         self._t_measurements: Dict[str, int] = {}
         self._t_hops: Dict[str, int] = {}
+        self._t_stale = 0
+        #: (outcome, link-or-None) -> count, for revtr_fallbacks_total
+        self._t_fallbacks: Dict[tuple, int] = {}
         #: intersect attempts in the measurement in flight (annotated
         #: onto the root span when it closes)
         self._m_intersects = 0
@@ -201,7 +204,20 @@ class RevtrEngine:
             out[
                 ("revtr_hops_total", (("technique", technique),))
             ] = float(n)
+        if self._t_stale:
+            out[("atlas_stale_intersections_total", ())] = float(
+                self._t_stale
+            )
+        for (outcome, link), n in self._t_fallbacks.items():
+            labels = (("outcome", outcome),)
+            if link is not None:
+                labels += (("link", link),)
+            out[("revtr_fallbacks_total", labels)] = float(n)
         return out
+
+    def _fallback(self, outcome: str, link: Optional[str] = None) -> None:
+        key = (outcome, link)
+        self._t_fallbacks[key] = self._t_fallbacks.get(key, 0) + 1
 
     def _harvest_terminal_from_atlas(self) -> None:
         """Learn the source's first-hop addresses from atlas tails."""
@@ -361,7 +377,8 @@ class RevtrEngine:
 
     def _instrumented_batch(self, current: Address, vps):
         with self.obs.span(
-            "rr.spoofed_batch", hop=str(current), vps=len(vps)
+            "rr.spoofed_batch", hop=str(current), vps=len(vps),
+            batched=True,
         ) as span:
             results = self.prober.spoofed_rr_batch(
                 vps, current, spoof_as=self.source
@@ -539,7 +556,7 @@ class RevtrEngine:
                     hit, clock.now()
                 )
                 if result.stale_intersection:
-                    self.obs.inc("atlas_stale_intersections_total")
+                    self._t_stale += 1
                 self.atlas.mark_useful(hit.vp)
                 with self.obs.span(
                     "stitch", vp=str(hit.vp), index=hit.index
@@ -627,9 +644,7 @@ class RevtrEngine:
                 if first is not None:
                     self._terminal.add(first)
             if outcome.adjacent_to_source:
-                self.obs.inc(
-                    "revtr_fallbacks_total", outcome="adjacent-source"
-                )
+                self._fallback("adjacent-source")
                 hops.append(ReverseHop(source, HopTechnique.SOURCE))
                 status = RevtrStatus.COMPLETE
                 break
@@ -637,26 +652,17 @@ class RevtrEngine:
                 outcome.penultimate is None
                 or outcome.penultimate in seen
             ):
-                self.obs.inc(
-                    "revtr_fallbacks_total", outcome="dead-end"
-                )
+                self._fallback("dead-end")
                 status = RevtrStatus.INCOMPLETE
                 break
             if (
                 self.config.symmetry is SymmetryPolicy.INTRADOMAIN_ONLY
                 and outcome.link is not LinkType.INTRA
             ):
-                self.obs.inc(
-                    "revtr_fallbacks_total",
-                    outcome="aborted-interdomain",
-                )
+                self._fallback("aborted-interdomain")
                 status = RevtrStatus.ABORTED_INTERDOMAIN
                 break
-            self.obs.inc(
-                "revtr_fallbacks_total",
-                outcome="adopted",
-                link=outcome.link.value,
-            )
+            self._fallback("adopted", outcome.link.value)
             hops.append(
                 ReverseHop(
                     outcome.penultimate,

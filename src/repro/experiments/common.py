@@ -16,6 +16,7 @@ counter so online probe costs (Table 4) stay clean.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -205,7 +206,9 @@ class Scenario:
             atlas.build(
                 self.background_prober,
                 self.atlas_vp_addrs,
-                random.Random(self.seed ^ hash(source) & 0xFFFF),
+                random.Random(
+                    self.seed ^ zlib.crc32(source.encode()) & 0xFFFF
+                ),
                 size=self.atlas_size,
             )
             bundle = SourceBundle(source=source, atlas=atlas)

@@ -15,6 +15,7 @@ measured destination's own traceroute is never in the atlas.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -191,7 +192,9 @@ def run(
         atlas.build(
             scenario.background_prober,
             atlas_pool,
-            random.Random(scenario.seed ^ hash(source) & 0xFFF),
+            random.Random(
+                scenario.seed ^ zlib.crc32(source.encode()) & 0xFFF
+            ),
             size=atlas_size,
         )
         atlases[source] = atlas

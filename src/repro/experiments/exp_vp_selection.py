@@ -13,6 +13,7 @@ third is the held-out evaluation target.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -134,7 +135,9 @@ def run(
             scenario.internet,
             scenario.background_prober,
             spoofers,
-            rng=random.Random(scenario.seed ^ hash(name) & 0xFFF),
+            rng=random.Random(
+                scenario.seed ^ zlib.crc32(name.encode()) & 0xFFF
+            ),
             use_double_stamp=double_stamp,
             use_loop=loop,
         )

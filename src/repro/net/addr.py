@@ -189,11 +189,24 @@ class PrefixTable:
     Implemented as per-length hash tables scanned from the longest
     registered length downward, which is simple and fast enough for the
     table sizes in this library (tens of thousands of prefixes).
+
+    Lookups memoize their result per address (the probing workload
+    resolves the same destinations over and over); :meth:`insert`
+    flushes the memo, so a re-announced or more-specific prefix is
+    always honoured.  Set :attr:`cache_enabled` to ``False`` to force
+    the full longest-match scan on every call.
     """
 
     def __init__(self) -> None:
         self._by_length: dict = {}
         self._lengths: List[int] = []
+        #: lookup memoization switch (the sim's forwarding fast path
+        #: toggles it together with its own caches)
+        self.cache_enabled = True
+        self._value_cache: dict = {}
+        self._prefix_cache: dict = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def insert(self, prefix: Prefix, value: object) -> None:
         """Insert or replace the value for *prefix*."""
@@ -203,26 +216,59 @@ class PrefixTable:
             self._by_length[prefix.length] = table
             self._lengths = sorted(self._by_length, reverse=True)
         table[prefix.network] = value
+        self.flush_lookup_cache()
+
+    def flush_lookup_cache(self) -> None:
+        """Drop memoized lookup results (table contents changed)."""
+        if self._value_cache:
+            self._value_cache.clear()
+        if self._prefix_cache:
+            self._prefix_cache.clear()
+
+    @property
+    def cached_lookups(self) -> int:
+        """Number of memoized lookup results currently held."""
+        return len(self._value_cache) + len(self._prefix_cache)
 
     def lookup(self, addr: Address) -> Optional[object]:
         """Return the value of the longest matching prefix, or None."""
+        if self.cache_enabled:
+            hit = self._value_cache.get(addr, _MISS)
+            if hit is not _MISS:
+                self.cache_hits += 1
+                return hit
+            self.cache_misses += 1
         value = addr_to_int(addr)
+        result = None
         for length in self._lengths:
             mask = 0 if length == 0 else (~0 << (32 - length)) & _MAX_IPV4
             hit = self._by_length[length].get(value & mask, _MISS)
             if hit is not _MISS:
-                return hit
-        return None
+                result = hit
+                break
+        if self.cache_enabled:
+            self._value_cache[addr] = result
+        return result
 
     def lookup_prefix(self, addr: Address) -> Optional[Prefix]:
         """Return the longest matching prefix itself, or None."""
+        if self.cache_enabled:
+            hit = self._prefix_cache.get(addr, _MISS)
+            if hit is not _MISS:
+                self.cache_hits += 1
+                return hit
+            self.cache_misses += 1
         value = addr_to_int(addr)
+        result = None
         for length in self._lengths:
             mask = 0 if length == 0 else (~0 << (32 - length)) & _MAX_IPV4
             network = value & mask
             if network in self._by_length[length]:
-                return Prefix(network, length)
-        return None
+                result = Prefix(network, length)
+                break
+        if self.cache_enabled:
+            self._prefix_cache[addr] = result
+        return result
 
     def __len__(self) -> int:
         return sum(len(t) for t in self._by_length.values())

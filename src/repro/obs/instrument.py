@@ -88,6 +88,21 @@ DECLARED_METRICS: Dict[str, Tuple[str, str, Optional[Sequence[float]]]] = {
         "Router hops traversed across forward and reply walks.",
         None,
     ),
+    "sim_fwd_cache_lookups_total": (
+        "counter",
+        "Forwarding fast-path cache lookups, by cache and hit/miss.",
+        None,
+    ),
+    "sim_fwd_cache_entries": (
+        "gauge",
+        "Entries currently held by each forwarding fast-path cache.",
+        None,
+    ),
+    "sim_routing_generation": (
+        "gauge",
+        "Routing generation; bumps flush the forwarding caches.",
+        None,
+    ),
     "service_requests_total": (
         "counter",
         "RevtrService requests, by user and result status.",
@@ -199,6 +214,9 @@ class Instrumentation:
         # collection (snapshot/exposition) time, so per-probe hot paths
         # pay a plain Python increment instead of a registry update.
         self._collect_sources: List[Any] = []
+        # Gauge analogue of ``_collect_sources``: snapshots that *set*
+        # their series (cache sizes, generations) rather than summing.
+        self._gauge_sources: List[Any] = []
         for name, (kind, help, buckets) in DECLARED_METRICS.items():
             if kind == "counter":
                 self.registry.counter(name, help)
@@ -226,6 +244,17 @@ class Instrumentation:
         if source not in self._collect_sources:
             self._collect_sources.append(source)
 
+    def register_gauge_source(self, source) -> None:
+        """Register a gauge snapshot source evaluated on collection.
+
+        Same calling convention as :meth:`register_collect_source`, but
+        values are *set* on gauge series instead of summed into
+        counters — the right semantics for sizes and generations, where
+        the latest reading wins.
+        """
+        if source not in self._gauge_sources:
+            self._gauge_sources.append(source)
+
     def _collect(self) -> None:
         totals: Dict[Any, float] = {}
         for source in list(self._collect_sources):
@@ -238,6 +267,11 @@ class Instrumentation:
             self.registry.counter(name).labels(
                 **dict(label_items)
             ).set_total(value)
+        for source in list(self._gauge_sources):
+            for (name, label_items), value in source().items():
+                self.registry.gauge(name).labels(
+                    **dict(label_items)
+                ).set(value)
 
     # -- tracing --------------------------------------------------------
 

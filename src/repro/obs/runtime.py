@@ -66,6 +66,7 @@ def introspect(
     instrumentation=None,
     probe_counters: Optional[Dict[str, Any]] = None,
     caches: Optional[Dict[str, Any]] = None,
+    forwarding: Optional[Dict[str, Any]] = None,
     include_traces: bool = False,
 ) -> Dict[str, Any]:
     """One JSON-able document describing the running system.
@@ -74,7 +75,11 @@ def introspect(
     :class:`~repro.probing.budget.ProbeCounter` instances and *caches*
     maps names to :class:`~repro.core.cache.MeasurementCache` (or bare
     :class:`~repro.core.cache.CacheStats`) instances; both are scraped
-    via their own snapshot methods.
+    via their own snapshot methods.  *forwarding* is the simulator's
+    :meth:`~repro.sim.network.Internet.forwarding_cache_stats` document
+    (FIB / resolve / LPM hit rates and sizes), included verbatim so
+    cache memory growth is visible from ``repro stats`` and the
+    service snapshot.
     """
     obs = instrumentation if instrumentation is not None else _default
     out: Dict[str, Any] = {"enabled": bool(obs.enabled)}
@@ -95,4 +100,6 @@ def introspect(
             stats = getattr(cache, "stats", cache)
             scraped[name] = stats.as_dict()
         out["caches"] = scraped
+    if forwarding is not None:
+        out["forwarding_caches"] = forwarding
     return out

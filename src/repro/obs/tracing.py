@@ -51,6 +51,7 @@ class Span:
         "sim_end",
         "error",
         "_tracer",
+        "_stack",
     )
 
     def __init__(
@@ -70,6 +71,10 @@ class Span:
         self.sim_end: Optional[float] = None
         self.error: Optional[str] = None
         self._tracer = tracer
+        # The thread-local active-span stack this span was pushed onto,
+        # captured at creation so __exit__ skips the threading.local
+        # lookup (spans never migrate threads).
+        self._stack: Optional[List["Span"]] = None
 
     def __enter__(self) -> "Span":
         # Already started: Tracer.span() pushes at creation time, so
@@ -86,16 +91,16 @@ class Span:
         clock = tracer.clock
         if clock is not None:
             self.sim_end = clock.now()
-        try:
-            stack = tracer._local.stack
-        except AttributeError:
-            stack = None
+        stack = self._stack
         if stack:
-            # Tolerate a corrupted stack rather than masking the
-            # caller's exception: pop up to and including this span.
-            while stack:
-                if stack.pop() is self:
-                    break
+            if stack[-1] is self:
+                stack.pop()
+            else:
+                # Tolerate a corrupted stack rather than masking the
+                # caller's exception: pop up to and including this span.
+                while stack:
+                    if stack.pop() is self:
+                        break
         if stack:
             parent = stack[-1]
             if parent._children is None:
@@ -103,8 +108,15 @@ class Span:
             else:
                 parent._children.append(self)
         else:
-            with tracer._lock:
-                tracer.traces.append(self)
+            # deque.append is atomic under the GIL; the lock is only
+            # needed for compound read-modify operations (export/clear).
+            tracer.traces.append(self)
+        # Drop the tracer and stack backrefs: they form reference
+        # cycles through the completed-trace ring (span -> tracer ->
+        # traces -> span), and closed spans can be long-lived there —
+        # without this every retained trace tree is cyclic-GC work.
+        self._tracer = None
+        self._stack = None
         return False
 
     @property
@@ -227,6 +239,7 @@ class Tracer:
             stack = local.stack
         except AttributeError:
             stack = local.stack = []
+        span._stack = stack
         stack.append(span)
         span.wall_start = _perf_counter()
         return span

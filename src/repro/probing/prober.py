@@ -231,11 +231,44 @@ class Prober:
         The batch is the unit of revtr latency (§5.2.4): replies land at
         the spoofed source and the system waits the full timeout since
         it cannot know how many will arrive.
+
+        All probes in the batch share one destination, so they are
+        handed to :meth:`Internet.send_probe_batch`, which resolves the
+        destination once and reuses it across the whole VP fleet.
         """
-        results = [
-            self.rr_ping(vp, dst, spoof_as=spoof_as, advance_clock=False)
-            for vp in vps
-        ]
+        probes = []
+        metas = []
+        for vp in vps:
+            spoofed = spoof_as is not None and spoof_as != vp
+            kind = (
+                ProbeKind.SPOOFED_RECORD_ROUTE
+                if spoofed
+                else ProbeKind.RECORD_ROUTE
+            )
+            self._charge(vp, kind)
+            probes.append(
+                Probe(
+                    src=spoof_as if spoofed else vp,
+                    dst=dst,
+                    kind=kind,
+                    injected_at=vp,
+                    record_route=RecordRouteOption(),
+                )
+            )
+            metas.append((vp, spoof_as if spoofed else None))
+        outcomes = self.internet.send_probe_batch(probes)
+        results = []
+        for (vp, spoofed_as), outcome in zip(metas, outcomes):
+            result = RRPingResult(
+                dst=dst,
+                vp=vp,
+                spoofed_as=spoofed_as,
+                responded=outcome.echo is not None,
+            )
+            if outcome.echo is not None:
+                result.slots = list(outcome.echo.rr_slots)
+                result.rtt = outcome.echo.rtt
+            results.append(result)
         self.clock.advance(SPOOF_BATCH_TIMEOUT)
         return results
 

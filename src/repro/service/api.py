@@ -192,5 +192,6 @@ class RevtrService:
             instrumentation=self.obs,
             probe_counters={"prober": self.prober.counter},
             caches=caches,
+            forwarding=self.prober.internet.forwarding_cache_stats(),
             include_traces=include_traces,
         )

@@ -32,6 +32,87 @@ class ForwardingError(Exception):
     """A packet hit a dead end (no route, unreachable target)."""
 
 
+#: :class:`FibEntry` kinds.  ``DELIVER`` is a forced single next hop
+#: (directly connected delivery, or a plain router's destination-based
+#: tie-break folded into the entry); ``ECMP`` carries an equal-cost
+#: candidate list whose per-packet pick stays outside the cache;
+#: ``ERROR`` is a deterministic dead end; ``DST`` marks the router that
+#: owns the destination interface (deliver here); ``LAN`` marks the
+#: anchor edge router that hands the packet to the destination host's
+#: LAN (stamp, then deliver).
+FIB_DELIVER = 0
+FIB_ECMP = 1
+FIB_ERROR = 2
+FIB_DST = 3
+FIB_LAN = 4
+
+
+class FibEntry:
+    """The deterministic part of one forwarding decision, memoizable.
+
+    A FIB entry is everything about one hop of ``Internet._walk`` that
+    depends only on ``(router, destination, announcement)`` — delivery
+    detection, resolved intra-AS target, egress-border pick, and the
+    equal-cost candidate list — and *not* on the individual packet.
+    The flow/packet-dependent pieces (load-balancer hashing,
+    DBR-violator source hashing, Paris flow ids) are applied by the
+    walker on top of the entry, so cached and uncached forwarding are
+    bit-identical.
+
+    Attributes:
+        kind: one of :data:`FIB_DELIVER`, :data:`FIB_ECMP`,
+            :data:`FIB_ERROR`, :data:`FIB_DST`, :data:`FIB_LAN`.
+        candidates: next-hop router ids (one for DELIVER, the sorted
+            equal-cost set for ECMP, empty for terminal kinds).
+        via: for DELIVER, the precomputed ``(next_router, egress_addr,
+            next_ingress)`` link triple, so the hot loop skips the
+            adjacency lookups entirely.
+        adj: for ECMP, the router's adjacency row mapping candidate ->
+            ``(egress_addr, next_ingress)``.
+        reason: the :class:`ForwardingError` message for ERROR entries.
+        alt: at an AS-level DBR-violating border router, the entry for
+            the loop-safe alternate next AS; the walker hashes the
+            packet source to pick between the two on first visit.
+        generation: routing generation the entry was computed under;
+            entries from older generations are treated as misses, so
+            traffic-engineering announcement changes can never be
+            served stale routes.
+    """
+
+    __slots__ = (
+        "kind", "candidates", "via", "adj", "reason", "alt", "generation"
+    )
+
+    def __init__(
+        self,
+        kind: int,
+        candidates: Tuple[int, ...] = (),
+        reason: str = "",
+        alt: Optional["FibEntry"] = None,
+        generation: int = 0,
+    ) -> None:
+        self.kind = kind
+        self.candidates = candidates
+        self.via: Optional[Tuple[int, Address, Address]] = None
+        self.adj: Optional[Dict] = None
+        self.reason = reason
+        self.alt = alt
+        self.generation = generation
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = {
+            FIB_DELIVER: "deliver",
+            FIB_ECMP: "ecmp",
+            FIB_ERROR: "error",
+            FIB_DST: "dst",
+            FIB_LAN: "lan",
+        }
+        return (
+            f"FibEntry({label[self.kind]}, {self.candidates or self.reason}"
+            f", gen={self.generation})"
+        )
+
+
 @dataclass
 class DestTarget:
     """Resolved delivery target(s) of a destination address.

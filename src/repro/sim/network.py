@@ -14,7 +14,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.net.addr import Address, Prefix, PrefixTable
 from repro.net.host import Host
@@ -22,13 +22,26 @@ from repro.net.options import RecordRouteOption, TimestampOption
 from repro.net.packet import EchoReply, Probe, TracerouteReply
 from repro.net.router import Router
 from repro.obs.runtime import get_default
-from repro.sim.forwarding import DestTarget, ForwardingError, choose_candidate
+from repro.sim.forwarding import (
+    FIB_DELIVER,
+    FIB_DST,
+    FIB_ECMP,
+    FIB_ERROR,
+    FIB_LAN,
+    DestTarget,
+    FibEntry,
+    ForwardingError,
+    choose_candidate,
+)
 from repro.topology.asgraph import ASGraph
 from repro.topology.config import TopologyConfig
 from repro.topology.policy import AnnouncementSpec, RoutingPolicy
 
 #: Safety bound on router hops per one-way walk.
 MAX_HOPS = 64
+
+#: Cache-miss sentinel (``None`` is a valid cached value).
+_MISS = object()
 
 
 @dataclass
@@ -41,8 +54,30 @@ class PrefixInfo:
     hosts: Dict[Address, Host] = field(default_factory=dict)
     is_infrastructure: bool = False
 
+    def __post_init__(self) -> None:
+        # (host-count, hosts) memo for responsive_hosts(); survey and
+        # atlas loops call it per prefix per round, and the host set is
+        # static after generation.
+        self._responsive: Optional[Tuple[int, List[Host]]] = None
+
+    def add_host(self, host: Host) -> None:
+        """Attach *host* to the prefix, invalidating cached views."""
+        self.hosts[host.addr] = host
+        self._responsive = None
+
     def responsive_hosts(self) -> List[Host]:
-        return [h for h in self.hosts.values() if h.responds_to_ping]
+        """Hosts that answer pings (cached; do not mutate the list).
+
+        The cache is invalidated by :meth:`add_host` and, as a belt and
+        braces guard for direct ``hosts`` mutation, whenever the host
+        count changes.
+        """
+        cached = self._responsive
+        if cached is not None and cached[0] == len(self.hosts):
+            return cached[1]
+        responsive = [h for h in self.hosts.values() if h.responds_to_ping]
+        self._responsive = (len(self.hosts), responsive)
+        return responsive
 
 
 @dataclass
@@ -121,6 +156,34 @@ class Internet:
         self._intra_dist: Dict[Tuple[int, int], Dict[int, int]] = {}
         self._alt_next_as: Dict[Tuple[int, AnnouncementSpec], Optional[int]] = {}
 
+        # -- forwarding fast path ---------------------------------------
+        #: master switch; ``enable_fastpath(False)`` recomputes every
+        #: forwarding decision from scratch (bit-identical, for A/B
+        #: benchmarking and determinism guards)
+        self.fastpath_enabled = True
+        #: routing generation; bumped by :meth:`invalidate_routing` so
+        #: FIB entries computed under an old announcement set are
+        #: treated as misses even if a reference to a per-spec shard
+        #: outlives the invalidation
+        self.routing_generation = 0
+        #: spec -> destination -> {router_id -> FibEntry}; sharded per
+        #: announcement and destination so the walker hashes the
+        #: (expensive) spec and the destination string once per packet,
+        #: leaving a bare-int dict lookup per hop
+        self._fib: Dict[
+            AnnouncementSpec, Dict[Address, Dict[int, FibEntry]]
+        ] = {}
+        #: memoized Internet.resolve() / announcement_for() results;
+        #: flushed on topology mutation and invalidate_routing()
+        self._resolve_cache: Dict[Address, Optional[DestTarget]] = {}
+        self._announce_cache: Dict[Address, Optional[AnnouncementSpec]] = {}
+        self._fib_hits = 0
+        self._fib_misses = 0
+        self._resolve_hits = 0
+        self._resolve_misses = 0
+        self._announce_hits = 0
+        self._announce_misses = 0
+
     @property
     def probe_outcome_counts(self) -> Dict[str, int]:
         """Probes walked so far, keyed by outcome."""
@@ -129,6 +192,11 @@ class Internet:
     def _on_obs_attached(self, instrumentation) -> None:
         if instrumentation.enabled:
             instrumentation.register_collect_source(self._obs_collect)
+            register_gauges = getattr(
+                instrumentation, "register_gauge_source", None
+            )
+            if register_gauges is not None:
+                register_gauges(self._obs_collect_gauges)
 
     def _obs_collect(self) -> Dict:
         out = {
@@ -139,6 +207,32 @@ class Internet:
         out[("sim_hops_traversed_total", ())] = float(self._obs_hops)
         for reason, n in self._obs_drops.items():
             out[("sim_drops_total", (("reason", reason),))] = float(n)
+        for cache, stats in self.forwarding_cache_stats()[
+            "caches"
+        ].items():
+            for counted, label in (("hits", "hit"), ("misses", "miss")):
+                n = stats[counted]
+                if n:
+                    out[
+                        (
+                            "sim_fwd_cache_lookups_total",
+                            (("cache", cache), ("result", label)),
+                        )
+                    ] = float(n)
+        return out
+
+    def _obs_collect_gauges(self) -> Dict:
+        """Pull-style gauges: cache sizes and the routing generation."""
+        stats = self.forwarding_cache_stats()
+        out = {
+            ("sim_fwd_cache_entries", (("cache", cache),)): float(
+                cache_stats["entries"]
+            )
+            for cache, cache_stats in stats["caches"].items()
+        }
+        out[("sim_routing_generation", ())] = float(
+            stats["routing_generation"]
+        )
         return out
 
     # ------------------------------------------------------------------
@@ -153,16 +247,26 @@ class Internet:
 
     def add_host(self, host: Host) -> None:
         self.hosts[host.addr] = host
+        self._flush_resolution_caches()
 
     def register_prefix(self, info: PrefixInfo) -> None:
         self.prefixes[info.prefix] = info
         self.prefix_table.insert(info.prefix, info)
+        self._flush_resolution_caches()
 
     def register_interface(
         self, addr: Address, owner: int, anchor: Optional[int] = None
     ) -> None:
         self.iface_owner[addr] = owner
         self.iface_anchor[addr] = owner if anchor is None else anchor
+        self._flush_resolution_caches()
+
+    def _flush_resolution_caches(self) -> None:
+        """Drop destination-resolution memos after topology mutation."""
+        if self._resolve_cache:
+            self._resolve_cache.clear()
+        if self._announce_cache:
+            self._announce_cache.clear()
 
     def connect(
         self,
@@ -216,7 +320,28 @@ class Internet:
         ]
 
     def announcement_for(self, addr: Address) -> Optional[AnnouncementSpec]:
-        """Return the announcement governing routes toward *addr*."""
+        """Return the announcement governing routes toward *addr*.
+
+        Memoized per address (the result is a pure function of the
+        prefix table and announcement overrides); the memo also interns
+        the default per-prefix :class:`AnnouncementSpec` so every probe
+        toward a prefix shares one spec object — and therefore one FIB
+        shard — instead of re-hashing a fresh spec per packet.
+        """
+        if self.fastpath_enabled:
+            hit = self._announce_cache.get(addr, _MISS)
+            if hit is not _MISS:
+                self._announce_hits += 1
+                return hit  # type: ignore[return-value]
+            self._announce_misses += 1
+        spec = self._announcement_for_uncached(addr)
+        if self.fastpath_enabled:
+            self._announce_cache[addr] = spec
+        return spec
+
+    def _announcement_for_uncached(
+        self, addr: Address
+    ) -> Optional[AnnouncementSpec]:
         prefix = self.prefix_table.lookup_prefix(addr)
         if prefix is None:
             return None
@@ -241,7 +366,26 @@ class Internet:
     # ------------------------------------------------------------------
 
     def resolve(self, dst: Address) -> Optional[DestTarget]:
-        """Resolve a destination address to its delivery target(s)."""
+        """Resolve a destination address to its delivery target(s).
+
+        Memoized: every revtr measurement fires dozens of probes at the
+        same destination (RR rounds, spoofed-VP batches), and the
+        resolved :class:`DestTarget` is a pure function of topology and
+        anycast anchors.  The memo is flushed on topology mutation and
+        by :meth:`invalidate_routing`.
+        """
+        if self.fastpath_enabled:
+            hit = self._resolve_cache.get(dst, _MISS)
+            if hit is not _MISS:
+                self._resolve_hits += 1
+                return hit  # type: ignore[return-value]
+            self._resolve_misses += 1
+        target = self._resolve_uncached(dst)
+        if self.fastpath_enabled:
+            self._resolve_cache[dst] = target
+        return target
+
+    def _resolve_uncached(self, dst: Address) -> Optional[DestTarget]:
         host = self.hosts.get(dst)
         if host is not None:
             prefix = self.prefix_table.lookup_prefix(dst)
@@ -358,7 +502,40 @@ class Internet:
         state, and attached instrumentation merely mirrors them into
         the registry at collection time.
         """
-        outcome = self._send_probe(probe)
+        return self._tally_outcome(self._send_probe(probe))
+
+    def send_probe_batch(
+        self, probes: Sequence[Probe]
+    ) -> List[ProbeOutcome]:
+        """Walk a batch of probes, resolving each destination once.
+
+        The batch is the natural unit of revtr probing — a spoofed-VP
+        round fires many probes at one destination — so the destination
+        resolution and announcement lookup are computed once per
+        distinct destination and shared across the whole batch (even
+        with the fast-path caches disabled).  Probes are walked in
+        order, so outcomes are bit-identical to sequential
+        :meth:`send_probe` calls.
+        """
+        shared: Dict[
+            Address,
+            Tuple[Optional[DestTarget], Optional[AnnouncementSpec]],
+        ] = {}
+        outcomes: List[ProbeOutcome] = []
+        for probe in probes:
+            context = shared.get(probe.dst)
+            if context is None:
+                context = (
+                    self.resolve(probe.dst),
+                    self.announcement_for(probe.dst),
+                )
+                shared[probe.dst] = context
+            outcomes.append(
+                self._tally_outcome(self._send_probe(probe, context))
+            )
+        return outcomes
+
+    def _tally_outcome(self, outcome: ProbeOutcome) -> ProbeOutcome:
         self._obs_hops += len(outcome.forward_router_path) + len(
             outcome.reply_router_path
         )
@@ -375,7 +552,13 @@ class Internet:
                 )
         return outcome
 
-    def _send_probe(self, probe: Probe) -> ProbeOutcome:
+    def _send_probe(
+        self,
+        probe: Probe,
+        context: Optional[
+            Tuple[Optional[DestTarget], Optional[AnnouncementSpec]]
+        ] = None,
+    ) -> ProbeOutcome:
         outcome = ProbeOutcome()
         origin_host = self.hosts.get(probe.injected_at)
         if origin_host is None:
@@ -387,11 +570,14 @@ class Internet:
             outcome.drop_reason = "spoof-filtered"
             return outcome
 
-        target = self.resolve(probe.dst)
+        if context is not None:
+            target, spec = context
+        else:
+            target = self.resolve(probe.dst)
+            spec = self.announcement_for(probe.dst)
         if target is None:
             outcome.drop_reason = "unreachable-destination"
             return outcome
-        spec = self.announcement_for(probe.dst)
         if spec is None:
             outcome.drop_reason = "no-announcement"
             return outcome
@@ -479,6 +665,28 @@ class Internet:
 
     # -- walk internals -------------------------------------------------
 
+    def _fib_for(
+        self, spec: AnnouncementSpec, dst: Address
+    ) -> Optional[Dict[int, FibEntry]]:
+        """The per-destination FIB row for *spec* (None = fast path off).
+
+        Fetched once per walk so the spec — whose hash covers origin
+        tuples and poisoning frozensets — and the destination string
+        are each hashed once per packet; the per-hop lookup then keys
+        on the bare router id.
+        """
+        if not self.fastpath_enabled:
+            return None
+        shard = self._fib.get(spec)
+        if shard is None:
+            shard = {}
+            self._fib[spec] = shard
+        row = shard.get(dst)
+        if row is None:
+            row = {}
+            shard[dst] = row
+        return row
+
     def _walk(
         self,
         start_router: int,
@@ -499,22 +707,43 @@ class Internet:
         path: List[int] = []
         visited: set = set()
         latency = self.config.link_latency_ms / 1000.0
+        dst = target.dst
+        fib = self._fib_for(spec, dst)
+        gen = self.routing_generation
+        routers = self.routers
+        rng = self._rng
+        crc32 = zlib.crc32
 
+        # The loop body below is the FIB dispatch of :meth:`_next_hop`
+        # inlined (plus delivery/TTL handling via the terminal entry
+        # kinds): at tens of thousands of hops per measurement stream,
+        # the per-hop function call and adjacency lookups it saves are
+        # a measurable slice of campaign runtime.
         while hops < MAX_HOPS:
-            router = self.routers[current]
+            router = routers[current]
             first_visit = current not in visited
             visited.add(current)
             hops += 1
             path.append(current)
 
+            if fib is None:
+                entry = self._compute_fib_entry(router, target, spec)
+            else:
+                entry = fib.get(current)
+                if entry is None or entry.generation != gen:
+                    entry = self._compute_fib_entry(router, target, spec)
+                    fib[current] = entry
+                    self._fib_misses += 1
+                else:
+                    self._fib_hits += 1
+            kind = entry.kind
+
             # TTL expiry check (the router that decrements to zero).
             if ttl is not None and hops == ttl:
-                if target.owner_router == current or (
-                    target.host is None and router.owns(target.dst)
-                ):
+                if kind == FIB_DST:
                     te = TracerouteReply(
                         ttl=ttl,
-                        hop_addr=target.dst,
+                        hop_addr=dst,
                         rtt=2 * hops * latency,
                         reached=True,
                     )
@@ -528,29 +757,31 @@ class Internet:
                 )
                 return False, None, hops, path, te
 
-            # Delivery checks.
-            if router.owns(target.dst):
-                return True, target.dst, hops, path, None
-            if (
-                target.host is not None
-                and router.asn in target.anchors
-                and target.anchors[router.asn] == current
-            ):
-                # Edge router hands the packet to the host's LAN.
+            # Delivery: this router owns the destination interface, or
+            # is the edge router handing the packet to the host's LAN.
+            if kind == FIB_DST:
+                return True, dst, hops, path, None
+            if kind == FIB_LAN:
                 self._transit_stamp(router, ingress_addr, None, rr, ts)
-                return True, target.dst, hops, path, None
+                return True, dst, hops, path, None
 
-            # Compute next hop.
-            try:
-                next_router = self._next_hop(
-                    router, target, spec, probe, first_visit
+            if entry.alt is not None and first_visit:
+                # AS-level DBR violation: the router hashes the packet
+                # source to deviate toward the alternate next AS (§E).
+                if crc32(f"{probe.src}|{router.asn}".encode()) & 1:
+                    entry = entry.alt
+                    kind = entry.kind
+
+            if kind == FIB_DELIVER:
+                next_router, egress_addr, next_ingress = entry.via
+            elif kind == FIB_ECMP:
+                next_router = choose_candidate(
+                    router, entry.candidates, probe, rng
                 )
-            except ForwardingError:
-                return False, None, hops, path, None
-            if next_router is None:
+                egress_addr, next_ingress = entry.adj[next_router]
+            else:  # FIB_ERROR: deterministic dead end.
                 return False, None, hops, path, None
 
-            egress_addr, next_ingress = self.adjacency[current][next_router]
             self._transit_stamp(router, ingress_addr, egress_addr, rr, ts)
             ingress_addr = next_ingress
             current = next_router
@@ -567,13 +798,62 @@ class Internet:
     ) -> Optional[int]:
         """One forwarding decision; raises ForwardingError on dead ends.
 
+        Reference implementation of a single hop, kept for tests and
+        exploratory use; :meth:`_walk` inlines the same FIB dispatch on
+        the hot path.  The deterministic part of the decision comes
+        from :meth:`_compute_fib_entry`; the packet- and flow-dependent
+        parts (:func:`choose_candidate` and the DBR-violator source
+        hash) are applied on top, so cached and uncached forwarding
+        are bit-identical.
+
         ``first_visit`` guards the AS-level DBR-violation deviation:
         two deviating routers can otherwise bounce a packet between
         their ASes forever; on a re-visit the router falls back to its
         best route, which is loop-free by the tree property.
         """
+        entry = self._compute_fib_entry(router, target, spec)
+        if entry.alt is not None and first_visit:
+            if zlib.crc32(f"{probe.src}|{router.asn}".encode()) & 1:
+                entry = entry.alt
+        kind = entry.kind
+        if kind == FIB_DELIVER:
+            return entry.candidates[0]
+        if kind == FIB_ECMP:
+            return choose_candidate(
+                router, entry.candidates, probe, self._rng
+            )
+        if kind in (FIB_DST, FIB_LAN):
+            return None
+        raise ForwardingError(entry.reason)
+
+    def _compute_fib_entry(
+        self, router: Router, target: DestTarget, spec: AnnouncementSpec
+    ) -> FibEntry:
+        """Compute the deterministic forwarding action at *router*.
+
+        Exactly the pre-fast-path walk control flow, minus the
+        per-packet choices.  Plain routers' destination-based ECMP
+        tie-break (a hash of ``(router, destination)``) is itself a
+        pure function of the cache key, so it is folded into the entry
+        as a forced ``FIB_DELIVER``; load balancers and DBR violators
+        keep their full candidate list.  Delivery detection is folded
+        in as the terminal kinds ``FIB_DST``/``FIB_LAN``, and DELIVER
+        entries carry their precomputed link triple, so the walker's
+        per-hop work reduces to one dict lookup plus dispatch.
+        """
         current = router.router_id
         asn = router.asn
+        gen = self.routing_generation
+
+        # Terminal kinds: delivery happens at this router.
+        if router.owns(target.dst):
+            return FibEntry(FIB_DST, generation=gen)
+        if (
+            target.host is not None
+            and asn in target.anchors
+            and target.anchors[asn] == current
+        ):
+            return FibEntry(FIB_LAN, generation=gen)
 
         if target.owner_router is not None:
             owner = target.owner_router
@@ -584,14 +864,14 @@ class Internet:
                 and current in target.link_endpoints
                 and owner in self.adjacency.get(current, {})
             ):
-                return owner
+                return self._deliver_entry(current, owner, gen)
             # Interdomain misnumbered iface: any router adjacent to the
             # owner in a different AS has the /30 as a connected route.
             if (
                 owner in self.adjacency.get(current, {})
                 and self.routers[owner].asn != asn
             ):
-                return owner
+                return self._deliver_entry(current, owner, gen)
 
         if asn in target.anchors:
             anchor = target.anchors[asn]
@@ -617,35 +897,57 @@ class Internet:
                 if owner is not None and owner in self.adjacency.get(
                     current, {}
                 ):
-                    return owner
-                raise ForwardingError("anchor cannot deliver")
+                    return self._deliver_entry(current, owner, gen)
+                return FibEntry(
+                    FIB_ERROR, reason="anchor cannot deliver",
+                    generation=gen,
+                )
             candidates = self.intra_next_hops(asn, intra_target, current)
             if not candidates:
-                raise ForwardingError("intra-AS target unreachable")
-            return choose_candidate(router, candidates, probe, self._rng)
+                return FibEntry(
+                    FIB_ERROR, reason="intra-AS target unreachable",
+                    generation=gen,
+                )
+            return self._ecmp_entry(router, target, candidates, gen)
 
         # Interdomain step.
         next_as = self.policy.next_hop_as(asn, spec)
         if next_as is None:
-            raise ForwardingError("no BGP route")
-        if router.dbr_as_violator and first_visit:
-            alt = self.alt_next_as(asn, spec)
-            if alt is not None:
-                pick = zlib.crc32(
-                    f"{probe.src}|{asn}".encode()
-                ) & 1
-                if pick:
-                    next_as = alt
+            return FibEntry(
+                FIB_ERROR, reason="no BGP route", generation=gen
+            )
+        entry = self._border_entry(router, target, next_as, gen)
+        if router.dbr_as_violator:
+            alt_as = self.alt_next_as(asn, spec)
+            if alt_as is not None:
+                entry.alt = self._border_entry(
+                    router, target, alt_as, gen
+                )
+        return entry
+
+    def _border_entry(
+        self,
+        router: Router,
+        target: DestTarget,
+        next_as: int,
+        gen: int,
+    ) -> FibEntry:
+        """The deterministic egress action toward *next_as*."""
+        current = router.router_id
+        asn = router.asn
         pairs = self.borders.get(asn, {}).get(next_as)
         if not pairs:
-            raise ForwardingError("no border link to next AS")
+            return FibEntry(
+                FIB_ERROR, reason="no border link to next AS",
+                generation=gen,
+            )
 
         # If we are a border router on one of the candidate links,
         # egress directly (hot potato at zero cost).
         own_pairs = [p for p in pairs if p[0] == current]
         if own_pairs:
             remotes = sorted(p[1] for p in own_pairs)
-            return choose_candidate(router, remotes, probe, self._rng)
+            return self._ecmp_entry(router, target, remotes, gen)
 
         # Pick an egress border router.
         if self.graph.nodes[asn].cold_potato:
@@ -657,8 +959,47 @@ class Internet:
             )[1]
         candidates = self.intra_next_hops(asn, local_border, current)
         if not candidates:
-            raise ForwardingError("border unreachable intra-AS")
-        return choose_candidate(router, candidates, probe, self._rng)
+            return FibEntry(
+                FIB_ERROR, reason="border unreachable intra-AS",
+                generation=gen,
+            )
+        return self._ecmp_entry(router, target, candidates, gen)
+
+    def _deliver_entry(
+        self, current: int, next_router: int, gen: int
+    ) -> FibEntry:
+        """A forced-next-hop entry with its link triple precomputed."""
+        entry = FibEntry(FIB_DELIVER, (next_router,), generation=gen)
+        egress_addr, next_ingress = self.adjacency[current][next_router]
+        entry.via = (next_router, egress_addr, next_ingress)
+        return entry
+
+    def _ecmp_entry(
+        self,
+        router: Router,
+        target: DestTarget,
+        candidates: List[int],
+        gen: int,
+    ) -> FibEntry:
+        """Wrap equal-cost *candidates*, folding deterministic picks.
+
+        Single candidates and plain routers' destination-hash
+        tie-breaks resolve to the same next hop for every packet of a
+        ``(router, destination)`` pair — precompute them so the cached
+        path skips :func:`choose_candidate` entirely.  Load balancers
+        and DBR violators stay ECMP: their pick depends on the packet.
+        """
+        current = router.router_id
+        if len(candidates) == 1:
+            return self._deliver_entry(current, candidates[0], gen)
+        if not router.dbr_violator and not router.is_load_balancer:
+            index = zlib.crc32(
+                f"{router.router_id}|{target.dst}".encode()
+            ) % len(candidates)
+            return self._deliver_entry(current, candidates[index], gen)
+        entry = FibEntry(FIB_ECMP, tuple(candidates), generation=gen)
+        entry.adj = self.adjacency[current]
+        return entry
 
     def _transit_stamp(
         self,
@@ -751,6 +1092,74 @@ class Internet:
         return outcome.forward_router_path
 
     def invalidate_routing(self) -> None:
-        """Drop routing caches after announcement changes (TE)."""
+        """Drop routing caches after announcement changes (TE).
+
+        Bumps the routing generation — every cached
+        :class:`~repro.sim.forwarding.FibEntry` stamped with an older
+        generation becomes a miss, even if a per-spec FIB shard is
+        still referenced by an in-flight batch — and flushes the
+        destination-resolution memos (anycast anchors may have moved).
+        """
         self.policy.invalidate()
         self._alt_next_as.clear()
+        self.routing_generation += 1
+        self._fib.clear()
+        self._flush_resolution_caches()
+        self.prefix_table.flush_lookup_cache()
+
+    # ------------------------------------------------------------------
+    # Fast-path control and introspection
+    # ------------------------------------------------------------------
+
+    def enable_fastpath(self, enabled: bool = True) -> None:
+        """Toggle the forwarding fast path (FIB / resolution / LPM).
+
+        Disabling recomputes every forwarding decision from scratch —
+        bit-identical outcomes, used by determinism guards and the
+        cached-vs-uncached benchmark.  Toggling drops all cached state
+        either way.
+        """
+        self.fastpath_enabled = enabled
+        self.prefix_table.cache_enabled = enabled
+        self._fib.clear()
+        self._flush_resolution_caches()
+        self.prefix_table.flush_lookup_cache()
+
+    def forwarding_cache_stats(self) -> Dict[str, object]:
+        """Hit/miss/size accounting for every fast-path cache.
+
+        JSON-able; surfaced through ``repro stats``, the service's
+        :meth:`~repro.service.api.RevtrService.metrics_snapshot`, and
+        the ``sim_fwd_cache_*`` metric families.
+        """
+        table = self.prefix_table
+        return {
+            "enabled": self.fastpath_enabled,
+            "routing_generation": self.routing_generation,
+            "caches": {
+                "fib": {
+                    "hits": self._fib_hits,
+                    "misses": self._fib_misses,
+                    "entries": sum(
+                        len(row)
+                        for shard in self._fib.values()
+                        for row in shard.values()
+                    ),
+                },
+                "resolve": {
+                    "hits": self._resolve_hits,
+                    "misses": self._resolve_misses,
+                    "entries": len(self._resolve_cache),
+                },
+                "announcement": {
+                    "hits": self._announce_hits,
+                    "misses": self._announce_misses,
+                    "entries": len(self._announce_cache),
+                },
+                "lpm": {
+                    "hits": table.cache_hits,
+                    "misses": table.cache_misses,
+                    "entries": table.cached_lookups,
+                },
+            },
+        }

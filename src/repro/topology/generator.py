@@ -512,7 +512,7 @@ class _Builder:
                         stamps_rr=True,
                         is_vantage_point=True,
                     )
-                    info.hosts[host.addr] = host
+                    info.add_host(host)
                     internet.add_host(host)
                     internet.mlab_hosts.append(host.addr)
                 else:
@@ -531,7 +531,7 @@ class _Builder:
                             responds_to_options=options_ok,
                             stamps_rr=rng.random() < cfg.host_rr_stamps,
                         )
-                        info.hosts[host.addr] = host
+                        info.add_host(host)
                         internet.add_host(host)
                 internet.register_prefix(info)
 
@@ -555,7 +555,7 @@ class _Builder:
                 stamps_rr=True,
                 is_vantage_point=True,
             )
-            info.hosts[host.addr] = host
+            info.add_host(host)
             internet.add_host(host)
             internet.atlas_hosts.append(host.addr)
 

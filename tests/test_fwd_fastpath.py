@@ -1,0 +1,359 @@
+"""Forwarding fast path: determinism, invalidation, and accounting.
+
+The fast path's contract is that it is *invisible* except in speed:
+cached and uncached forwarding must be bit-identical (including the
+stochastic load-balancer and DBR-violator hops, whose per-packet
+choices stay outside the cache), and every cache must flush when a
+traffic-engineering announcement change calls ``invalidate_routing()``.
+"""
+
+import pytest
+
+from repro.net.addr import Prefix, PrefixTable
+from repro.net.host import Host
+from repro.net.options import RecordRouteOption
+from repro.net.packet import Probe, ProbeKind
+from repro.obs import Instrumentation
+from repro.obs.runtime import attach, introspect
+from repro.sim.network import PrefixInfo
+from repro.topology import TopologyConfig
+from repro.topology.generator import build_internet
+from repro.topology.policy import AnnouncementSpec, Origin
+
+
+def fresh_internet(seed: int = 5, fastpath: bool = True):
+    internet = build_internet(TopologyConfig.small(seed=seed))
+    if not fastpath:
+        internet.enable_fastpath(False)
+    return internet
+
+
+def probe_stream(internet, n: int = 40):
+    """A deterministic mixed stream of plain and RR probes."""
+    sources = internet.mlab_hosts[:2]
+    destinations = sorted(
+        host.addr
+        for host in internet.hosts.values()
+        if host.responds_to_ping and not host.is_vantage_point
+    )[:n]
+    probes = []
+    for index, dst in enumerate(destinations):
+        src = sources[index % len(sources)]
+        probes.append(Probe(src=src, dst=dst, flow_id=index % 3))
+        probes.append(
+            Probe(
+                src=src,
+                dst=dst,
+                kind=ProbeKind.RECORD_ROUTE,
+                injected_at=src,
+                record_route=RecordRouteOption(),
+            )
+        )
+    return probes
+
+
+def outcome_key(outcome):
+    echo = outcome.echo
+    return (
+        outcome.delivered,
+        outcome.responder,
+        outcome.drop_reason,
+        tuple(outcome.forward_router_path),
+        tuple(outcome.reply_router_path),
+        None
+        if echo is None
+        else (echo.src, echo.rtt, echo.ipid, tuple(echo.rr_slots)),
+    )
+
+
+class TestDeterminism:
+    def test_cached_equals_uncached_probe_stream(self):
+        """Same-seed runs with caches on vs. off are byte-identical,
+        including RR (option) probes through load balancers and
+        DBR-violating routers."""
+        fast = fresh_internet(fastpath=True)
+        slow = fresh_internet(fastpath=False)
+        # The topology must actually contain the stochastic router
+        # kinds the cache is required to leave outside the FIB.
+        assert any(r.is_load_balancer for r in fast.routers.values())
+        assert any(r.dbr_violator for r in fast.routers.values())
+
+        for probe_fast, probe_slow in zip(
+            probe_stream(fast), probe_stream(slow)
+        ):
+            out_fast = fast.send_probe(probe_fast)
+            out_slow = slow.send_probe(probe_slow)
+            assert outcome_key(out_fast) == outcome_key(out_slow)
+
+        stats = fast.forwarding_cache_stats()
+        assert stats["enabled"]
+        assert stats["caches"]["fib"]["hits"] > 0
+        slow_stats = slow.forwarding_cache_stats()
+        assert not slow_stats["enabled"]
+        assert slow_stats["caches"]["fib"]["entries"] == 0
+
+    def test_batch_equals_sequential(self):
+        """send_probe_batch shares resolution across the batch but
+        produces exactly the per-probe outcomes."""
+        batched = fresh_internet()
+        sequential = fresh_internet()
+        vps = batched.mlab_hosts[:3]
+        dst = sorted(
+            host.addr
+            for host in batched.hosts.values()
+            if host.responds_to_options and not host.is_vantage_point
+        )[0]
+
+        def make(vp_list):
+            return [
+                Probe(
+                    src=vp,
+                    dst=dst,
+                    kind=ProbeKind.RECORD_ROUTE,
+                    injected_at=vp,
+                    record_route=RecordRouteOption(),
+                )
+                for vp in vp_list
+            ]
+
+        batch_out = batched.send_probe_batch(make(vps))
+        seq_out = [sequential.send_probe(p) for p in make(vps)]
+        assert [outcome_key(o) for o in batch_out] == [
+            outcome_key(o) for o in seq_out
+        ]
+
+    def test_toggle_fastpath_preserves_paths(self):
+        """Toggling the fast path mid-run never changes ground truth."""
+        internet = fresh_internet()
+        src = internet.mlab_hosts[0]
+        dst = sorted(
+            host.addr
+            for host in internet.hosts.values()
+            if host.responds_to_ping and not host.is_vantage_point
+        )[5]
+        warm = internet.ground_truth_router_path(src, dst)
+        internet.enable_fastpath(False)
+        cold = internet.ground_truth_router_path(src, dst)
+        internet.enable_fastpath(True)
+        rewarmed = internet.ground_truth_router_path(src, dst)
+        assert warm == cold == rewarmed
+
+
+class TestInvalidation:
+    def _overridable_route(self, internet, src):
+        """A (host, provider ASN) pair whose forward path crosses one
+        of the destination AS's providers, so a no-export override
+        actually reroutes it."""
+        for host in sorted(
+            internet.hosts.values(), key=lambda h: h.addr
+        ):
+            if (
+                not host.responds_to_ping
+                or host.is_vantage_point
+                or len(internet.graph.nodes[host.asn].providers()) < 2
+            ):
+                continue
+            providers = internet.graph.nodes[host.asn].providers()
+            path = internet.ground_truth_router_path(src, host.addr)
+            for rid in path:
+                asn = internet.routers[rid].asn
+                if asn in providers:
+                    return host, asn
+        pytest.skip("no overridable destination in this topology")
+
+    def test_te_override_flushes_every_cache(self):
+        """A TE announcement override + invalidate_routing() drops the
+        FIB, resolution, announcement, and LPM caches, and the rerouted
+        paths equal those of an uncached fresh Internet."""
+        internet = fresh_internet()
+        reference = fresh_internet(fastpath=False)
+        src = internet.mlab_hosts[0]
+        host, used_provider = self._overridable_route(internet, src)
+        prefix = internet.prefix_table.lookup_prefix(host.addr)
+
+        before = internet.ground_truth_router_path(src, host.addr)
+        assert before == reference.ground_truth_router_path(
+            src, host.addr
+        )
+
+        stats = internet.forwarding_cache_stats()["caches"]
+        assert stats["fib"]["entries"] > 0
+        assert stats["resolve"]["entries"] > 0
+        generation = internet.routing_generation
+
+        override = AnnouncementSpec(
+            origins=(Origin(host.asn),),
+            no_export=frozenset({(host.asn, used_provider)}),
+        )
+        for net in (internet, reference):
+            net.announcements[prefix] = override
+            net.invalidate_routing()
+
+        flushed = internet.forwarding_cache_stats()
+        assert flushed["routing_generation"] == generation + 1
+        assert flushed["caches"]["fib"]["entries"] == 0
+        assert flushed["caches"]["resolve"]["entries"] == 0
+        assert flushed["caches"]["announcement"]["entries"] == 0
+        assert flushed["caches"]["lpm"]["entries"] == 0
+
+        after = internet.ground_truth_router_path(src, host.addr)
+        # The cached Internet re-converges to exactly the uncached
+        # reference's post-override routing; if the destination is
+        # still reachable, the override moved the path.
+        assert after == reference.ground_truth_router_path(
+            src, host.addr
+        )
+        if after:
+            assert after != before
+
+    def test_stale_generation_entries_are_misses(self):
+        """FIB entries stamped with an older generation are recomputed
+        even if a stale shard survived a flush."""
+        internet = fresh_internet()
+        src = internet.mlab_hosts[0]
+        dst = sorted(
+            host.addr
+            for host in internet.hosts.values()
+            if host.responds_to_ping and not host.is_vantage_point
+        )[0]
+        internet.ground_truth_router_path(src, dst)
+        stale = {
+            spec: {
+                d: dict(row) for d, row in shard.items()
+            }
+            for spec, shard in internet._fib.items()
+        }
+        internet.invalidate_routing()
+        internet._fib.update(stale)  # simulate a leaked stale shard
+        misses_before = internet._fib_misses
+        internet.ground_truth_router_path(src, dst)
+        assert internet._fib_misses > misses_before
+
+
+class TestResolutionCaches:
+    def test_resolve_is_memoized_and_flushed(self, small_internet):
+        internet = small_internet
+        dst = sorted(
+            host.addr for host in internet.hosts.values()
+        )[0]
+        internet._flush_resolution_caches()
+        first = internet.resolve(dst)
+        hits = internet._resolve_hits
+        second = internet.resolve(dst)
+        assert second is first
+        assert internet._resolve_hits == hits + 1
+        internet._flush_resolution_caches()
+        assert internet._resolve_cache == {}
+
+    def test_add_host_flushes_resolution(self, small_internet):
+        internet = small_internet
+        info = next(
+            info
+            for info in internet.prefixes.values()
+            if info.hosts and not info.is_infrastructure
+        )
+        template = next(iter(info.hosts.values()))
+        internet.resolve(template.addr)
+        assert internet._resolve_cache
+        free = next(
+            addr
+            for addr in info.prefix.addresses()
+            if addr not in internet.hosts
+            and addr not in internet.iface_owner
+        )
+        host = Host(
+            addr=free,
+            asn=template.asn,
+            edge_router_id=template.edge_router_id,
+        )
+        info.add_host(host)
+        internet.add_host(host)
+        assert internet._resolve_cache == {}
+        resolved = internet.resolve(free)
+        assert resolved is not None and resolved.host is host
+
+    def test_responsive_hosts_cached_until_add(self):
+        prefix = Prefix.parse("10.9.0.0/24")
+        info = PrefixInfo(
+            prefix=prefix, origin_asn=7, edge_router_id=None
+        )
+        a = Host(addr="10.9.0.1", asn=7, edge_router_id=1,
+                 responds_to_ping=True)
+        info.add_host(a)
+        first = info.responsive_hosts()
+        assert first == [a]
+        assert info.responsive_hosts() is first  # memoized list
+        b = Host(addr="10.9.0.2", asn=7, edge_router_id=1,
+                 responds_to_ping=True)
+        info.add_host(b)
+        assert info.responsive_hosts() == [a, b]
+
+
+class TestPrefixTableCache:
+    def test_lookup_cache_counts_and_insert_flush(self):
+        table = PrefixTable()
+        table.insert(Prefix.parse("10.0.0.0/8"), "coarse")
+        assert table.lookup("10.1.2.3") == "coarse"
+        assert table.lookup("10.1.2.3") == "coarse"
+        assert table.cache_hits == 1
+        assert table.cache_misses == 1
+        assert table.cached_lookups == 1
+        # A more-specific insert must invalidate the memoized result.
+        table.insert(Prefix.parse("10.1.2.0/24"), "fine")
+        assert table.cached_lookups == 0
+        assert table.lookup("10.1.2.3") == "fine"
+
+    def test_cache_disabled_bypasses_memo(self):
+        table = PrefixTable()
+        table.cache_enabled = False
+        table.insert(Prefix.parse("10.0.0.0/8"), "value")
+        assert table.lookup("10.5.5.5") == "value"
+        assert table.lookup_prefix("10.5.5.5") == Prefix.parse(
+            "10.0.0.0/8"
+        )
+        assert table.cached_lookups == 0
+        assert table.cache_hits == 0
+
+    def test_negative_results_are_cached(self):
+        table = PrefixTable()
+        table.insert(Prefix.parse("10.0.0.0/8"), "value")
+        assert table.lookup("192.168.1.1") is None
+        assert table.lookup("192.168.1.1") is None
+        assert table.cache_hits == 1
+
+
+class TestAccounting:
+    def test_stats_shape_and_introspection(self, small_scenario):
+        stats = small_scenario.internet.forwarding_cache_stats()
+        assert set(stats["caches"]) == {
+            "fib", "resolve", "announcement", "lpm"
+        }
+        for cache_stats in stats["caches"].values():
+            assert set(cache_stats) == {"hits", "misses", "entries"}
+        doc = introspect(forwarding=stats)
+        assert doc["forwarding_caches"] is stats
+
+    def test_metrics_registry_carries_cache_series(self):
+        internet = fresh_internet()
+        instr = Instrumentation()
+        attach(instr, internet)
+        src = internet.mlab_hosts[0]
+        dst = sorted(
+            host.addr
+            for host in internet.hosts.values()
+            if host.responds_to_ping and not host.is_vantage_point
+        )[0]
+        internet.ground_truth_router_path(src, dst)
+        internet.ground_truth_router_path(src, dst)
+        snapshot = instr.registry.snapshot()
+        lookup_series = snapshot["sim_fwd_cache_lookups_total"]["series"]
+        assert any(
+            s["labels"] == {"cache": "fib", "result": "hit"}
+            for s in lookup_series
+        )
+        entries_series = snapshot["sim_fwd_cache_entries"]["series"]
+        assert any(
+            s["labels"] == {"cache": "fib"} and s["value"] > 0
+            for s in entries_series
+        )
+        assert snapshot["sim_routing_generation"]["series"]
