@@ -1,0 +1,229 @@
+"""Benchmark: request scheduler throughput vs. offered load.
+
+Builds identically seeded open-system services and drives the request
+scheduler over them in virtual-clock mode at increasing parallelism,
+plus a saturation run against deliberately tiny per-user queues.  All
+reported quantities are virtual-clock readings, so
+``benchmarks/reports/BENCH_scheduler.json`` is byte-identical across
+runs on any machine.
+
+Checks (exit 1 on failure):
+
+* scheduled throughput at parallelism >= 4 beats the sequential
+  (parallelism 1) baseline on the virtual clock;
+* per-user parallel caps are never exceeded (peak in-flight);
+* the saturation run rejects the excess with typed ``queue-full``
+  outcomes instead of raising.
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/report_scheduler.py
+    PYTHONPATH=src python benchmarks/report_scheduler.py \
+        --scale small --requests 24    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.experiments import Scenario  # noqa: E402
+from repro.service import (  # noqa: E402
+    RevtrService,
+    SchedulerConfig,
+    SourceRegistry,
+)
+from repro.topology import TopologyConfig  # noqa: E402
+
+SEED = 7
+
+SCALES = {
+    "small": TopologyConfig.small,
+    "large": TopologyConfig.large,
+}
+
+N_USERS = 4
+MAX_PARALLEL = 4
+
+
+def build_service(scale: str):
+    """A fresh, deterministically seeded open-system service."""
+    scenario = Scenario(
+        config=SCALES[scale](seed=SEED), seed=SEED, atlas_size=20
+    )
+    registry = SourceRegistry(
+        scenario.internet,
+        scenario.background_prober,
+        scenario.atlas_vp_addrs,
+        scenario.spoofer_addrs,
+        atlas_size=20,
+        seed=SEED,
+    )
+    service = RevtrService(
+        prober=scenario.online_prober,
+        registry=registry,
+        selector=scenario.selector("revtr2.0"),
+        ip2as=scenario.ip2as,
+        relationships=scenario.relationships,
+        resolver=scenario.resolver,
+    )
+    users = [
+        service.add_user(
+            f"user{i}", max_parallel=MAX_PARALLEL, max_per_day=100_000
+        )
+        for i in range(N_USERS)
+    ]
+    source = scenario.sources()[0]
+    service.add_source(users[0].api_key, source)
+    return scenario, service, users, source
+
+
+def run_load(
+    scale: str,
+    requests_per_user: int,
+    parallelism: int,
+    max_queue: int = 1_000_000,
+):
+    """Submit the offered load and drain it; returns the report."""
+    scenario, service, users, source = build_service(scale)
+    destinations = scenario.responsive_destinations(
+        requests_per_user, options_only=True
+    )
+    scheduler = service.scheduler(
+        SchedulerConfig(
+            parallelism=parallelism, max_queue_per_user=max_queue
+        )
+    )
+    for user in users:
+        for dst in destinations:
+            scheduler.submit(user.api_key, dst, source)
+    report = scheduler.run()
+    assert len(service.store) == report.completed
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="small"
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=40,
+        help="requests per user (offered load = 4x this)",
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8],
+        help="lane counts to sweep (1 = sequential baseline)",
+    )
+    args = parser.parse_args(argv)
+
+    print("request scheduler benchmark")
+    print(
+        f"  offered load: {N_USERS} users x {args.requests} requests, "
+        f"max_parallel={MAX_PARALLEL}, {args.scale} topology"
+    )
+
+    sweep = []
+    failures = []
+    for parallelism in args.parallelism:
+        report = run_load(args.scale, args.requests, parallelism)
+        doc = report.as_dict()
+        doc["parallelism"] = parallelism
+        sweep.append(doc)
+        peak = max(report.peak_inflight.values(), default=0)
+        print(
+            f"  parallelism {parallelism:2d}: makespan "
+            f"{report.makespan:9.1f} vs, throughput "
+            f"{report.throughput:7.3f} req/vs, peak in-flight {peak}"
+        )
+        if peak > MAX_PARALLEL:
+            failures.append(
+                f"peak in-flight {peak} exceeds cap {MAX_PARALLEL} "
+                f"at parallelism {parallelism}"
+            )
+
+    baseline = next(
+        (d for d in sweep if d["parallelism"] == 1), sweep[0]
+    )
+    best_parallel = max(
+        (d for d in sweep if d["parallelism"] >= 4),
+        key=lambda d: d["throughput_per_virtual_second"],
+        default=None,
+    )
+    speedup = None
+    if best_parallel is not None:
+        speedup = (
+            best_parallel["throughput_per_virtual_second"]
+            / baseline["throughput_per_virtual_second"]
+            if baseline["throughput_per_virtual_second"]
+            else 0.0
+        )
+        print(
+            f"  scheduling speedup (parallelism "
+            f"{best_parallel['parallelism']} vs 1): {speedup:.2f}x"
+        )
+        if speedup <= 1.0:
+            failures.append(
+                f"throughput at parallelism >= 4 ({speedup:.2f}x) "
+                "does not beat the sequential baseline"
+            )
+
+    # Saturation: per-user queues of 4 against the same offered load;
+    # the excess must come back as typed queue-full rejections.
+    saturation_report = run_load(
+        args.scale, args.requests, parallelism=4, max_queue=4
+    )
+    saturation = saturation_report.as_dict()
+    saturation["max_queue_per_user"] = 4
+    rejected = saturation["rejected"].get("queue-full", 0)
+    print(
+        f"  saturation (queue=4): {saturation['completed']} served, "
+        f"{rejected} rejected queue-full"
+    )
+    if args.requests > 4 and rejected == 0:
+        failures.append("saturation run produced no queue-full rejections")
+    if (
+        saturation["completed"] + sum(saturation["rejected"].values())
+        != saturation["submitted"]
+    ):
+        failures.append("saturation run lost jobs")
+
+    payload = {
+        "benchmark": "scheduler",
+        "scale": args.scale,
+        "seed": SEED,
+        "users": N_USERS,
+        "requests_per_user": args.requests,
+        "max_parallel": MAX_PARALLEL,
+        "sweep": sweep,
+        "scheduling_speedup": round(speedup, 3)
+        if speedup is not None
+        else None,
+        "saturation": saturation,
+    }
+    report_dir = os.path.join(os.path.dirname(__file__), "reports")
+    os.makedirs(report_dir, exist_ok=True)
+    path = os.path.join(report_dir, "BENCH_scheduler.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"  wrote {path}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,11 @@ Commands:
 * ``survey`` — the Appendix F record-route responsiveness survey
   (``--json`` for machine-readable output);
 * ``stats`` — render a Prometheus-style metrics exposition, either
-  from a saved snapshot (``--from``) or by running a fresh workload.
+  from a saved snapshot (``--from``) or by running a fresh workload;
+* ``serve`` — demo the request scheduler: several users with
+  different parallel limits submit a burst of requests which are
+  multiplexed over ``--parallel`` lanes with admission control
+  (``--json`` for the machine-readable report).
 """
 
 from __future__ import annotations
@@ -167,6 +171,88 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        RevtrService,
+        SchedulerConfig,
+        SourceRegistry,
+    )
+
+    instr = Instrumentation()
+    scenario = _scenario(args, instrumentation=instr)
+    registry = SourceRegistry(
+        scenario.internet,
+        scenario.background_prober,
+        scenario.atlas_vp_addrs,
+        scenario.spoofer_addrs,
+        atlas_size=args.atlas_size,
+        seed=args.seed,
+    )
+    service = RevtrService(
+        prober=scenario.online_prober,
+        registry=registry,
+        selector=scenario.selector("revtr2.0"),
+        ip2as=scenario.ip2as,
+        relationships=scenario.relationships,
+        resolver=scenario.resolver,
+        instrumentation=instr,
+    )
+    # A demo population: per-user parallel caps cycle 1, 2, 4, ...
+    users = [
+        service.add_user(
+            f"user{i}",
+            max_parallel=min(2**i, 8),
+            max_per_day=args.requests * 4,
+        )
+        for i in range(args.users)
+    ]
+    source = scenario.sources()[args.source_index]
+    service.add_source(users[0].api_key, source)
+    destinations = scenario.responsive_destinations(
+        args.requests, options_only=True
+    )
+    scheduler = service.scheduler(
+        SchedulerConfig(
+            parallelism=args.parallel,
+            max_queue_per_user=args.queue,
+            deadline=args.deadline,
+            max_retries=args.retries,
+        )
+    )
+    for user in users:
+        for dst in destinations:
+            scheduler.submit(user.api_key, dst, source)
+    report = (
+        scheduler.run_threaded()
+        if args.threaded
+        else scheduler.run()
+    )
+    doc = report.as_dict()
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(
+            f"served {doc['completed']}/{doc['submitted']} requests "
+            f"over {args.parallel} lanes "
+            f"({'threads' if args.threaded else 'virtual clock'})"
+        )
+        print(
+            f"  makespan:   {doc['makespan_virtual_seconds']:.1f} "
+            f"virtual seconds"
+        )
+        print(
+            f"  throughput: {doc['throughput_per_virtual_second']:.3f} "
+            f"requests / virtual second"
+        )
+        print(f"  rejected:   {doc['rejected'] or 'none'}")
+        print(f"  retries:    {doc['retries']}")
+        for name, peak in doc["peak_inflight"].items():
+            cap = service.users.get(name).max_parallel
+            print(f"  {name}: peak {peak} in flight (cap {cap})")
+    _write_metrics(instr, args.metrics_out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -248,6 +334,44 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--source-index", type=int, default=0)
     stats.add_argument("--variant", default="revtr2.0")
     stats.set_defaults(func=_cmd_stats)
+
+    serve = sub.add_parser(
+        "serve",
+        help="request-scheduler demo: admission control under load",
+    )
+    serve.add_argument(
+        "--parallel", type=int, default=4,
+        help="execution lanes / worker threads",
+    )
+    serve.add_argument("--users", type=int, default=3)
+    serve.add_argument(
+        "--requests", type=int, default=6,
+        help="requests submitted per user",
+    )
+    serve.add_argument(
+        "--queue", type=int, default=16,
+        help="bounded per-user queue length",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request queue-wait deadline (virtual seconds)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=0,
+        help="retry budget for unresponsive destinations",
+    )
+    serve.add_argument(
+        "--threaded", action="store_true",
+        help="run on a wall-clock thread pool instead of the "
+        "deterministic virtual-clock lanes",
+    )
+    serve.add_argument("--source-index", type=int, default=0)
+    serve.add_argument("--json", action="store_true")
+    serve.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the metrics JSON snapshot to FILE",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -6,10 +6,18 @@ caches record-route results and forward traceroutes keyed by
 The cache is a large share of the Table 4 probe savings because reverse
 paths toward one source converge, so later reverse traceroutes re-hit
 the same (hop, source) measurements.
+
+The cache is bounded two ways: entries expire after ``ttl`` (and the
+measurement path sweeps them out via :meth:`maybe_purge`), and an
+optional ``max_entries`` cap evicts least-recently-used entries so a
+long-running service cannot grow the cache without bound.  All
+operations take an internal lock so the scheduler's threaded mode can
+share one cache across engines.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Optional, Tuple
 
@@ -19,12 +27,18 @@ from repro.sim.clock import VirtualClock
 #: Default entry lifetime: one day (paper: daily refresh).
 DEFAULT_TTL = 86_400.0
 
+#: Default spacing of opportunistic expired-entry sweeps (virtual
+#: seconds); one sweep per simulated hour keeps the dict from
+#: accumulating a day's worth of dead entries between measurements.
+DEFAULT_PURGE_INTERVAL = 3_600.0
+
 
 @dataclass
 class CacheStats:
     hits: int = 0
     misses: int = 0
     expirations: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -42,34 +56,44 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "expirations": self.expirations,
+            "evictions": self.evictions,
             "lookups": self.lookups,
             "hit_rate": self.hit_rate,
         }
 
 
 class MeasurementCache:
-    """A TTL cache driven by virtual time."""
+    """A TTL + optional-LRU cache driven by virtual time."""
 
     def __init__(
         self,
         clock: VirtualClock,
         ttl: float = DEFAULT_TTL,
         enabled: bool = True,
+        max_entries: Optional[int] = None,
+        purge_interval: float = DEFAULT_PURGE_INTERVAL,
     ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
         self.clock = clock
         self.ttl = ttl
         self.enabled = enabled
+        self.max_entries = max_entries
+        self.purge_interval = purge_interval
         self.stats = CacheStats()
         #: instrumentation sink; rewired by the engine when enabled
         self.obs = NULL
         self._entries: Dict[Hashable, Tuple[float, Any]] = {}
+        self._lock = threading.RLock()
+        self._last_purge = clock.now()
 
     def _on_obs_attached(self, instrumentation) -> None:
         """Mirror :class:`CacheStats` into ``cache_lookups_total``.
 
         Pull-style: the stats object already tallies every lookup, so
         ``get`` pays nothing extra; an expired lookup counts as both a
-        miss (in stats) and an ``expired`` metric outcome.
+        miss (in stats) and an ``expired`` metric outcome.  LRU
+        evictions ride the same source as ``cache_evictions_total``.
         """
         if instrumentation.enabled:
             instrumentation.register_collect_source(self._obs_collect)
@@ -86,6 +110,7 @@ class MeasurementCache:
             ("cache_lookups_total", (("outcome", "expired"),)): float(
                 stats.expirations
             ),
+            ("cache_evictions_total", ()): float(stats.evictions),
         }
 
     def get(self, key: Hashable) -> Optional[Any]:
@@ -93,50 +118,84 @@ class MeasurementCache:
         if not self.enabled:
             self.stats.misses += 1
             return None
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        stored_at, value = entry
-        if self.clock.now() - stored_at > self.ttl:
-            del self._entries[key]
-            self.stats.expirations += 1
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            stored_at, value = entry
+            if self.clock.now() - stored_at > self.ttl:
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return None
+            if self.max_entries is not None:
+                # LRU bookkeeping: re-insert so dict order tracks
+                # recency.  Only paid when a bound is configured — the
+                # unbounded cache keeps the plain-dict fast path.
+                del self._entries[key]
+                self._entries[key] = entry
+            self.stats.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         if not self.enabled:
             return
-        self._entries[key] = (self.clock.now(), value)
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+            self._entries[key] = (self.clock.now(), value)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    oldest = next(iter(self._entries))
+                    del self._entries[oldest]
+                    self.stats.evictions += 1
 
     def contains_fresh(self, key: Hashable) -> bool:
-        entry = self._entries.get(key)
-        if entry is None:
-            return False
-        return self.clock.now() - entry[0] <= self.ttl
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            return self.clock.now() - entry[0] <= self.ttl
 
     def age(self, key: Hashable) -> Optional[float]:
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        return self.clock.now() - entry[0]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            return self.clock.now() - entry[0]
 
     def purge_expired(self) -> int:
         """Drop expired entries; returns how many were removed."""
-        now = self.clock.now()
-        expired = [
-            key
-            for key, (stored_at, _) in self._entries.items()
-            if now - stored_at > self.ttl
-        ]
-        for key in expired:
-            del self._entries[key]
-        return len(expired)
+        with self._lock:
+            now = self.clock.now()
+            expired = [
+                key
+                for key, (stored_at, _) in self._entries.items()
+                if now - stored_at > self.ttl
+            ]
+            for key in expired:
+                del self._entries[key]
+            return len(expired)
+
+    def maybe_purge(self) -> int:
+        """Sweep expired entries at most once per ``purge_interval``.
+
+        Called from the measurement path (the engine, the scheduler)
+        so long-running services shed dead entries without a dedicated
+        maintenance thread; returns the number removed (0 when the
+        sweep is skipped).
+        """
+        with self._lock:
+            now = self.clock.now()
+            if now - self._last_purge < self.purge_interval:
+                return 0
+            self._last_purge = now
+            return self.purge_expired()
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

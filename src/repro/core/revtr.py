@@ -85,6 +85,11 @@ class EngineConfig:
             and not self.use_timestamp
             and self.use_cache
         ):
+            # revtr 2.0 does not use offline alias datasets for
+            # intersection; a config that adds them is a distinct
+            # variant and must not reuse the revtr2.0 row label.
+            if self.use_alias_intersection:
+                return "revtr2.0+alias"
             return "revtr2.0"
         parts = ["revtr1.0"]
         if self.use_cache:
@@ -93,6 +98,10 @@ class EngineConfig:
             parts.append("-TS")
         if self.use_rr_atlas:
             parts.append("+RRatlas")
+        if not self.use_alias_intersection:
+            # The revtr 1.0 baseline intersects through offline alias
+            # datasets; flag configs that switch that off.
+            parts.append("-alias")
         return " ".join(parts)
 
 
@@ -504,6 +513,9 @@ class RevtrEngine:
     def _measure(self, dst: Address) -> ReverseTracerouteResult:
         clock = self.prober.clock
         start_time = clock.now()
+        # Opportunistic TTL sweep so a long-running service does not
+        # accumulate a day of dead entries (rate-limited internally).
+        self.cache.maybe_purge()
         self._m_intersects = 0
         counts_before = Counter(self.prober.counter.counts)
 

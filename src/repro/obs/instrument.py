@@ -113,6 +113,32 @@ DECLARED_METRICS: Dict[str, Tuple[str, str, Optional[Sequence[float]]]] = {
         "Sim-clock latency of one service request.",
         DEFAULT_TIME_BUCKETS,
     ),
+    "service_rejections_total": (
+        "counter",
+        "Scheduler admissions refused, by reason "
+        "(queue-full/deadline/quota/error).",
+        None,
+    ),
+    "service_retries_total": (
+        "counter",
+        "Scheduler retry attempts for unresponsive destinations.",
+        None,
+    ),
+    "service_queue_depth": (
+        "gauge",
+        "Jobs currently queued in the request scheduler.",
+        None,
+    ),
+    "service_inflight": (
+        "gauge",
+        "Reverse traceroutes currently in flight, by user.",
+        None,
+    ),
+    "cache_evictions_total": (
+        "counter",
+        "Measurement-cache entries evicted by the LRU bound.",
+        None,
+    ),
 }
 
 

@@ -49,8 +49,13 @@ class TokenBucket:
         deficit = n - self._tokens
         wait = deficit / self.rate
         self.clock.advance(wait)
-        self._refill()
-        self._tokens -= n
+        # Exactly `deficit` tokens accrued during the wait and all of
+        # them (plus the balance) are consumed by this acquire.  Going
+        # through `_refill()` here would cap the accrual at `burst`
+        # before the deduction, leaving permanent negative-token debt
+        # whenever n > burst and over-charging every later caller.
+        self._tokens = 0.0
+        self._last = self.clock.now()
         return wait
 
     def would_wait(self, n: int = 1) -> float:

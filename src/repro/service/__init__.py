@@ -9,6 +9,14 @@ that operational shell over the measurement core.
 
 from repro.service.api import MeasurementRequest, RevtrService
 from repro.service.ndt import NdtTrigger
+from repro.service.scheduler import (
+    Job,
+    JobState,
+    RejectReason,
+    RequestScheduler,
+    SchedulerConfig,
+    SchedulerReport,
+)
 from repro.service.sources import BootstrapReport, SourceRegistry
 from repro.service.store import MeasurementStore
 from repro.service.users import User, UserDatabase
@@ -22,4 +30,10 @@ __all__ = [
     "MeasurementStore",
     "User",
     "UserDatabase",
+    "Job",
+    "JobState",
+    "RejectReason",
+    "RequestScheduler",
+    "SchedulerConfig",
+    "SchedulerReport",
 ]

@@ -9,6 +9,7 @@ engine, and archived in the measurement store.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -64,6 +65,11 @@ class RevtrService:
         self.users = UserDatabase(prober.clock)
         self.store = MeasurementStore()
         self._engines: Dict[Address, RevtrEngine] = {}
+        self._engines_lock = threading.Lock()
+        # A re-registered source gets a rebuilt atlas/RR atlas; drop
+        # any engine built against the old one so requests never keep
+        # serving stale state.
+        self.registry.subscribe(self._invalidate_engine)
 
     # ------------------------------------------------------------------
     # Administration
@@ -84,6 +90,7 @@ class RevtrService:
         api_key: str,
         addr: Address,
         serves_as_vantage_point: bool = False,
+        replace: bool = False,
     ):
         """Register a user-owned source (bootstraps it)."""
         user = self.users.authenticate(api_key)
@@ -91,33 +98,39 @@ class RevtrService:
             addr,
             owner=user.name,
             serves_as_vantage_point=serves_as_vantage_point,
+            replace=replace,
         )
 
     # ------------------------------------------------------------------
     # Measurement
     # ------------------------------------------------------------------
 
+    def _invalidate_engine(self, source: Address) -> None:
+        with self._engines_lock:
+            self._engines.pop(source, None)
+
     def _engine_for(self, source: Address) -> RevtrEngine:
-        engine = self._engines.get(source)
-        if engine is None:
-            registered = self.registry.sources.get(source)
-            if registered is None:
-                raise KeyError(f"source {source} not registered")
-            engine = RevtrEngine(
-                prober=self.prober,
-                source=source,
-                atlas=registered.atlas,
-                selector=self.selector,
-                ip2as=self.ip2as,
-                relationships=self.relationships,
-                config=self.engine_config,
-                rr_atlas=registered.rr_atlas,
-                resolver=self.resolver,
-                spoofers=self.registry.spoofer_vps,
-                instrumentation=self.obs,
-            )
-            self._engines[source] = engine
-        return engine
+        with self._engines_lock:
+            engine = self._engines.get(source)
+            if engine is None:
+                registered = self.registry.sources.get(source)
+                if registered is None:
+                    raise KeyError(f"source {source} not registered")
+                engine = RevtrEngine(
+                    prober=self.prober,
+                    source=source,
+                    atlas=registered.atlas,
+                    selector=self.selector,
+                    ip2as=self.ip2as,
+                    relationships=self.relationships,
+                    config=self.engine_config,
+                    rr_atlas=registered.rr_atlas,
+                    resolver=self.resolver,
+                    spoofers=self.registry.spoofer_vps,
+                    instrumentation=self.obs,
+                )
+                self._engines[source] = engine
+            return engine
 
     def _measure_one(
         self, engine: RevtrEngine, dst: Address, user_name: str, label: str
@@ -165,14 +178,32 @@ class RevtrService:
         src: Address,
         label: str = "",
     ) -> List[ReverseTracerouteResult]:
-        """A batch of requests, charged and archived individually."""
+        """A batch of requests, charged and archived individually.
+
+        Quota is charged per measurement, immediately before it runs:
+        if the engine fails (or quota runs out) mid-batch, the user is
+        never charged for measurements that were not attempted.
+        """
         user = self.users.authenticate(api_key)
-        user.charge(self.prober.clock.now(), n=len(dsts))
         engine = self._engine_for(src)
-        return [
-            self._measure_one(engine, dst, user.name, label)
-            for dst in dsts
-        ]
+        results: List[ReverseTracerouteResult] = []
+        for dst in dsts:
+            user.charge(self.prober.clock.now())
+            results.append(
+                self._measure_one(engine, dst, user.name, label)
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def scheduler(self, config=None):
+        """A :class:`~repro.service.scheduler.RequestScheduler` bound
+        to this service (admission control, deadlines, retries)."""
+        from repro.service.scheduler import RequestScheduler
+
+        return RequestScheduler(self, config=config)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,596 @@
+"""Request scheduling and admission control (Appendix A).
+
+The deployed system rate-limits each user by *parallel reverse
+traceroutes* and *measurements per day* — "similar to what RIPE Atlas
+does".  :class:`RequestScheduler` makes the first limit real: jobs are
+submitted to bounded per-user queues and multiplexed across a fixed
+number of execution lanes, never running more than ``User.max_parallel``
+of one user's measurements at a time.
+
+Two execution modes share the same admission logic:
+
+* **Virtual mode** (:meth:`RequestScheduler.run` /
+  :meth:`~RequestScheduler.step`) re-simulates a parallel deployment on
+  the virtual clock.  Each of ``parallelism`` lanes carries a virtual
+  timeline; the scheduler repeatedly takes the earliest-free lane and
+  admits the next job by deterministic round-robin over users, skipping
+  users at their parallel cap at that instant.  Job durations come from
+  the engine's own virtual-clock accounting, so the resulting schedule
+  (start/finish times, makespan, throughput) is exactly what an
+  N-worker deployment would see — and byte-identical across runs.
+
+* **Threaded mode** (:meth:`RequestScheduler.run_threaded`) drives the
+  same queues with a wall-clock :class:`~concurrent.futures.ThreadPoolExecutor`.
+  Admission, quota, and archive bookkeeping run concurrently under
+  fine-grained locks (user, store, clock); the measurement itself runs
+  under a per-engine lock plus one global simulator lock, because the
+  simulated Internet is a single shared resource (in a real deployment
+  the per-engine lock alone would apply, with network I/O overlapping).
+
+Overload degrades into *typed* outcomes rather than exceptions: a full
+per-user queue, an expired deadline, or an exhausted daily quota turn
+into :class:`RejectReason` on the job and
+``service_rejections_total{reason=...}`` metrics, so one saturated user
+never kills anyone else's batch.  ``UNRESPONSIVE`` destinations are
+optionally retried with exponential backoff.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.core.result import ReverseTracerouteResult, RevtrStatus
+from repro.net.addr import Address
+from repro.service.users import QuotaExceeded, User
+
+
+class JobState(enum.Enum):
+    """Lifecycle of one scheduled request."""
+
+    QUEUED = "queued"
+    DONE = "done"
+    REJECTED = "rejected"
+
+
+class RejectReason(enum.Enum):
+    """Why a job was refused (typed; never raised at the caller)."""
+
+    QUEUE_FULL = "queue-full"
+    DEADLINE = "deadline"
+    QUOTA = "quota"
+    ERROR = "error"
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs for the request scheduler."""
+
+    #: execution lanes (virtual mode) / worker threads (threaded mode)
+    parallelism: int = 4
+    #: bounded per-user queue; submissions beyond it are rejected
+    max_queue_per_user: int = 16
+    #: max seconds a job may wait in queue before it is dropped
+    #: (virtual seconds; ``None`` disables the deadline)
+    deadline: Optional[float] = None
+    #: re-run jobs whose destination was unresponsive up to this many
+    #: extra times
+    max_retries: int = 0
+    #: base backoff before the first retry; doubles per attempt
+    retry_backoff: float = 60.0
+
+
+@dataclass
+class Job:
+    """One scheduled reverse-traceroute request."""
+
+    id: int
+    user: str
+    dst: Address
+    src: Address
+    label: str = ""
+    submitted_at: float = 0.0
+    #: earliest virtual time the job may start (retry backoff)
+    eligible_at: float = 0.0
+    state: JobState = JobState.QUEUED
+    reject_reason: Optional[RejectReason] = None
+    result: Optional[ReverseTracerouteResult] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: the job completed, but after its deadline had already passed
+    deadline_exceeded: bool = False
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+
+@dataclass
+class SchedulerReport:
+    """What a drained scheduler did, on the virtual timeline."""
+
+    parallelism: int
+    submitted: int
+    completed: int
+    rejected: Dict[str, int]
+    retries: int
+    deadline_overruns: int
+    makespan: float
+    throughput: float
+    peak_inflight: Dict[str, int]
+    statuses: Dict[str, int]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "parallelism": self.parallelism,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": dict(sorted(self.rejected.items())),
+            "retries": self.retries,
+            "deadline_overruns": self.deadline_overruns,
+            "makespan_virtual_seconds": round(self.makespan, 6),
+            "throughput_per_virtual_second": round(self.throughput, 6),
+            "peak_inflight": dict(sorted(self.peak_inflight.items())),
+            "statuses": dict(sorted(self.statuses.items())),
+        }
+
+
+class RequestScheduler:
+    """Admission control + multiplexing for a :class:`RevtrService`."""
+
+    def __init__(self, service, config: Optional[SchedulerConfig] = None):
+        self.service = service
+        self.config = config if config is not None else SchedulerConfig()
+        if self.config.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.obs = service.obs
+        self.clock = service.prober.clock
+        self.jobs: List[Job] = []
+        self.retries = 0
+        self.completed = 0
+        self.deadline_overruns = 0
+        self.rejections: Dict[str, int] = {}
+        self.peak_inflight: Dict[str, int] = {}
+        self._ids = itertools.count(1)
+        self._queues: Dict[str, Deque[Job]] = {}
+        self._users: Dict[str, User] = {}
+        self._user_order: List[str] = []
+        self._rr_index = 0
+        # Virtual-mode lane timelines (created lazily at first step).
+        self._lanes: Optional[List[float]] = None
+        self._t0: Optional[float] = None
+        #: per-user virtual finish times of admitted jobs (in-flight
+        #: at instant t = finishes strictly greater than t)
+        self._inflight_finish: Dict[str, List[float]] = {}
+        # Threaded-mode state: live in-flight counters guarded by one
+        # condition variable, plus the execution locks described in the
+        # module docstring.
+        self._cond = threading.Condition()
+        self._live_inflight: Dict[str, int] = {}
+        self._live_total = 0
+        self._engine_locks: Dict[Address, threading.Lock] = {}
+        self._sim_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        api_key: str,
+        dst: Address,
+        src: Address,
+        label: str = "",
+    ) -> Job:
+        """Queue one request; returns the job (possibly already
+        rejected with :attr:`RejectReason.QUEUE_FULL`)."""
+        user = self.service.users.authenticate(api_key)
+        with self._cond:
+            job = Job(
+                id=next(self._ids),
+                user=user.name,
+                dst=dst,
+                src=src,
+                label=label,
+                submitted_at=self.clock.now(),
+            )
+            self.jobs.append(job)
+            queue = self._queues.get(user.name)
+            if queue is None:
+                queue = deque()
+                self._queues[user.name] = queue
+                self._users[user.name] = user
+                self._user_order.append(user.name)
+                self._inflight_finish[user.name] = []
+                self._live_inflight[user.name] = 0
+                self.peak_inflight[user.name] = 0
+            if user.max_parallel < 1:
+                self._reject(job, RejectReason.QUOTA)
+                return job
+            if len(queue) >= self.config.max_queue_per_user:
+                self._reject(job, RejectReason.QUEUE_FULL)
+                return job
+            queue.append(job)
+            self._queue_depth_changed()
+            self._cond.notify_all()
+        return job
+
+    def submit_batch(
+        self,
+        api_key: str,
+        dsts,
+        src: Address,
+        label: str = "",
+    ) -> List[Job]:
+        return [self.submit(api_key, dst, src, label) for dst in dsts]
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+
+    def _reject(self, job: Job, reason: RejectReason) -> None:
+        job.state = JobState.REJECTED
+        job.reject_reason = reason
+        self.rejections[reason.value] = (
+            self.rejections.get(reason.value, 0) + 1
+        )
+        self.obs.inc("service_rejections_total", reason=reason.value)
+
+    def _queue_depth_changed(self) -> None:
+        depth = sum(len(q) for q in self._queues.values())
+        self.obs.set_gauge("service_queue_depth", depth)
+
+    def _any_queued(self) -> bool:
+        return any(self._queues.values())
+
+    def _note_status(self, statuses: Dict[str, int], job: Job) -> None:
+        if job.result is not None:
+            key = job.result.status.value
+            statuses[key] = statuses.get(key, 0) + 1
+
+    def report(self) -> SchedulerReport:
+        statuses: Dict[str, int] = {}
+        for job in self.jobs:
+            if job.state is JobState.DONE:
+                self._note_status(statuses, job)
+        makespan = 0.0
+        if self._t0 is not None:
+            finishes = [
+                job.finished_at
+                for job in self.jobs
+                if job.finished_at is not None
+            ]
+            if finishes:
+                makespan = max(finishes) - self._t0
+        throughput = self.completed / makespan if makespan else 0.0
+        return SchedulerReport(
+            parallelism=self.config.parallelism,
+            submitted=len(self.jobs),
+            completed=self.completed,
+            rejected=dict(self.rejections),
+            retries=self.retries,
+            deadline_overruns=self.deadline_overruns,
+            makespan=makespan,
+            throughput=throughput,
+            peak_inflight=dict(self.peak_inflight),
+            statuses=statuses,
+        )
+
+    # ------------------------------------------------------------------
+    # Virtual mode: deterministic event simulation
+    # ------------------------------------------------------------------
+
+    def run(self) -> SchedulerReport:
+        """Drain every queue deterministically; returns the report."""
+        while self.step() is not None:
+            pass
+        return self.report()
+
+    def step(self) -> Optional[Job]:
+        """Admit and execute the next job on the virtual timeline.
+
+        Returns the job just processed (done, retried, or rejected),
+        or ``None`` once every queue is empty.  Stepping one job at a
+        time keeps the interleaving inspectable from tests.
+        """
+        if not self._any_queued():
+            return None
+        if self._lanes is None:
+            self._t0 = self.clock.now()
+            self._lanes = [self._t0] * self.config.parallelism
+        while True:
+            lane = min(
+                range(len(self._lanes)),
+                key=lambda i: (self._lanes[i], i),
+            )
+            t = self._lanes[lane]
+            picked = self._pick(t)
+            if picked is not None:
+                job, user = picked
+                break
+            nxt = self._next_event_after(t)
+            if nxt is None:
+                # Defensive: cannot happen while queues are non-empty,
+                # but a stall must not become an infinite loop.
+                return None
+            self._lanes[lane] = nxt
+        return self._execute_virtual(job, user, lane, t)
+
+    def _pick(self, t: float) -> Optional[Tuple[Job, User]]:
+        """Round-robin choice of the next admissible job at instant t."""
+        order = self._user_order
+        for offset in range(len(order)):
+            idx = (self._rr_index + offset) % len(order)
+            name = order[idx]
+            queue = self._queues[name]
+            if not queue:
+                continue
+            job = queue[0]
+            if job.eligible_at > t:
+                continue
+            if self._inflight_at(name, t) >= self._users[name].max_parallel:
+                continue
+            queue.popleft()
+            self._rr_index = (idx + 1) % len(order)
+            self._queue_depth_changed()
+            return job, self._users[name]
+        return None
+
+    def _inflight_at(self, name: str, t: float) -> int:
+        finishes = self._inflight_finish[name]
+        finishes[:] = [f for f in finishes if f > t]
+        return len(finishes)
+
+    def _next_event_after(self, t: float) -> Optional[float]:
+        """Earliest future instant at which a queued job could start."""
+        candidates: List[float] = []
+        for name, queue in self._queues.items():
+            if not queue:
+                continue
+            head = queue[0]
+            if head.eligible_at > t:
+                candidates.append(head.eligible_at)
+            for f in self._inflight_finish[name]:
+                if f > t:
+                    candidates.append(f)
+        return min(candidates) if candidates else None
+
+    def _execute_virtual(
+        self, job: Job, user: User, lane: int, t: float
+    ) -> Job:
+        cfg = self.config
+        job.started_at = t
+        if (
+            cfg.deadline is not None
+            and t - job.submitted_at > cfg.deadline
+        ):
+            self._reject(job, RejectReason.DEADLINE)
+            return job
+        try:
+            user.charge(t)
+        except QuotaExceeded as exc:
+            job.error = str(exc)
+            self._reject(job, RejectReason.QUOTA)
+            return job
+        try:
+            engine = self.service._engine_for(job.src)
+            result = self.service._measure_one(
+                engine, job.dst, user.name, job.label
+            )
+        except Exception as exc:  # typed, never kills the batch
+            job.error = f"{type(exc).__name__}: {exc}"
+            self._reject(job, RejectReason.ERROR)
+            return job
+        job.result = result
+        finish = t + result.duration
+        job.finished_at = finish
+        self._lanes[lane] = finish
+        finishes = self._inflight_finish[user.name]
+        finishes[:] = [f for f in finishes if f > t]
+        finishes.append(finish)
+        current = len(finishes)
+        if current > self.peak_inflight[user.name]:
+            self.peak_inflight[user.name] = current
+        self.obs.set_gauge(
+            "service_inflight", current, user=user.name
+        )
+        if (
+            result.status is RevtrStatus.UNRESPONSIVE
+            and job.attempts < cfg.max_retries
+        ):
+            job.attempts += 1
+            job.eligible_at = finish + cfg.retry_backoff * (
+                2 ** (job.attempts - 1)
+            )
+            job.state = JobState.QUEUED
+            self._queues[user.name].append(job)
+            self.retries += 1
+            self.obs.inc("service_retries_total")
+            self._queue_depth_changed()
+            return job
+        job.state = JobState.DONE
+        self.completed += 1
+        if (
+            cfg.deadline is not None
+            and finish - job.submitted_at > cfg.deadline
+        ):
+            # It ran, but finished late: flagged on the job and
+            # tallied, not retroactively cancelled.
+            job.deadline_exceeded = True
+            self.deadline_overruns += 1
+        return job
+
+    # ------------------------------------------------------------------
+    # Threaded mode: wall-clock ThreadPoolExecutor
+    # ------------------------------------------------------------------
+
+    def run_threaded(
+        self, max_workers: Optional[int] = None
+    ) -> SchedulerReport:
+        """Drain the queues with real worker threads.
+
+        Admission decisions are made under one condition variable;
+        measurements execute under a per-engine lock plus the global
+        simulator lock (see module docstring).  Outcomes are the same
+        typed results as virtual mode, but interleaving follows the OS
+        scheduler, so ordering is not reproducible — use :meth:`run`
+        for deterministic experiments.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers = (
+            max_workers if max_workers is not None
+            else self.config.parallelism
+        )
+        if self._t0 is None:
+            self._t0 = self.clock.now()
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(self._worker_loop) for _ in range(workers)
+            ]
+            for future in futures:
+                future.result()
+        return self.report()
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                picked = self._pick_live()
+                while picked is None:
+                    if not self._any_queued():
+                        return
+                    if self._live_total == 0:
+                        # Nothing is running, so nothing will advance
+                        # the virtual clock: jump to the earliest
+                        # retry-eligibility instant ourselves.
+                        nxt = self._earliest_eligible()
+                        if nxt is not None and nxt > self.clock.now():
+                            self.clock.advance_to(nxt)
+                        picked = self._pick_live()
+                        if picked is not None:
+                            break
+                    self._cond.wait(timeout=0.05)
+                    picked = self._pick_live()
+                job, user = picked
+                self._live_inflight[user.name] += 1
+                self._live_total += 1
+                current = self._live_inflight[user.name]
+                if current > self.peak_inflight[user.name]:
+                    self.peak_inflight[user.name] = current
+                self.obs.set_gauge(
+                    "service_inflight", current, user=user.name
+                )
+            try:
+                self._execute_threaded(job, user)
+            finally:
+                with self._cond:
+                    self._live_inflight[user.name] -= 1
+                    self._live_total -= 1
+                    self.obs.set_gauge(
+                        "service_inflight",
+                        self._live_inflight[user.name],
+                        user=user.name,
+                    )
+                    self._cond.notify_all()
+
+    def _pick_live(self) -> Optional[Tuple[Job, User]]:
+        """Round-robin pick against live in-flight counters.
+
+        Caller must hold :attr:`_cond`.
+        """
+        order = self._user_order
+        now = self.clock.now()
+        for offset in range(len(order)):
+            idx = (self._rr_index + offset) % len(order)
+            name = order[idx]
+            queue = self._queues[name]
+            if not queue:
+                continue
+            job = queue[0]
+            if job.eligible_at > now:
+                continue
+            user = self._users[name]
+            if self._live_inflight[name] >= user.max_parallel:
+                continue
+            queue.popleft()
+            self._rr_index = (idx + 1) % len(order)
+            self._queue_depth_changed()
+            return job, user
+        return None
+
+    def _earliest_eligible(self) -> Optional[float]:
+        times = [
+            queue[0].eligible_at
+            for queue in self._queues.values()
+            if queue
+        ]
+        return min(times) if times else None
+
+    def _execute_threaded(self, job: Job, user: User) -> None:
+        cfg = self.config
+        now = self.clock.now()
+        job.started_at = now
+        if (
+            cfg.deadline is not None
+            and now - job.submitted_at > cfg.deadline
+        ):
+            with self._cond:
+                self._reject(job, RejectReason.DEADLINE)
+            return
+        try:
+            user.charge(now)
+        except QuotaExceeded as exc:
+            job.error = str(exc)
+            with self._cond:
+                self._reject(job, RejectReason.QUOTA)
+            return
+        try:
+            engine = self.service._engine_for(job.src)
+            with self._cond:
+                engine_lock = self._engine_locks.setdefault(
+                    job.src, threading.Lock()
+                )
+            with engine_lock, self._sim_lock:
+                result = self.service._measure_one(
+                    engine, job.dst, user.name, job.label
+                )
+        except Exception as exc:
+            job.error = f"{type(exc).__name__}: {exc}"
+            with self._cond:
+                self._reject(job, RejectReason.ERROR)
+            return
+        job.result = result
+        job.finished_at = self.clock.now()
+        if (
+            result.status is RevtrStatus.UNRESPONSIVE
+            and job.attempts < cfg.max_retries
+        ):
+            job.attempts += 1
+            job.eligible_at = job.finished_at + cfg.retry_backoff * (
+                2 ** (job.attempts - 1)
+            )
+            job.state = JobState.QUEUED
+            with self._cond:
+                self.retries += 1
+                self._queues[user.name].append(job)
+                self.obs.inc("service_retries_total")
+                self._queue_depth_changed()
+                self._cond.notify_all()
+            return
+        job.state = JobState.DONE
+        with self._cond:
+            self.completed += 1
+            if (
+                cfg.deadline is not None
+                and job.finished_at - job.submitted_at > cfg.deadline
+            ):
+                job.deadline_exceeded = True
+                self.deadline_overruns += 1

@@ -9,6 +9,7 @@ RIPE Atlas does". Day boundaries are read off the virtual clock.
 from __future__ import annotations
 
 import secrets
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -31,6 +32,11 @@ class User:
     max_per_day: int = 10_000
     _used_today: int = 0
     _day_index: int = 0
+    # Quota accounting is read-modify-write; the lock makes charges
+    # atomic when the scheduler's threaded mode runs jobs in parallel.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def _roll_day(self, now: float) -> None:
         day = int(now // _DAY)
@@ -40,16 +46,28 @@ class User:
 
     def charge(self, now: float, n: int = 1) -> None:
         """Charge *n* measurements against today's quota."""
-        self._roll_day(now)
-        if self._used_today + n > self.max_per_day:
-            raise QuotaExceeded(
-                f"user {self.name} exceeded {self.max_per_day}/day"
-            )
-        self._used_today += n
+        with self._lock:
+            self._roll_day(now)
+            if self._used_today + n > self.max_per_day:
+                raise QuotaExceeded(
+                    f"user {self.name} exceeded {self.max_per_day}/day"
+                )
+            self._used_today += n
+
+    def refund(self, now: float, n: int = 1) -> None:
+        """Return *n* unused charges to today's quota.
+
+        Only charges made the same (virtual) day can come back; after
+        a day rollover there is nothing to refund against.
+        """
+        with self._lock:
+            self._roll_day(now)
+            self._used_today = max(0, self._used_today - n)
 
     def remaining_today(self, now: float) -> int:
-        self._roll_day(now)
-        return self.max_per_day - self._used_today
+        with self._lock:
+            self._roll_day(now)
+            return self.max_per_day - self._used_today
 
 
 class UserDatabase:

@@ -77,6 +77,7 @@ class TestCache:
             "hits": 1,
             "misses": 2,
             "expirations": 1,
+            "evictions": 0,
             "lookups": 3,
             "hit_rate": 1 / 3,
         }
@@ -111,3 +112,66 @@ class TestCache:
         cache.put("k", 2)
         clock.advance(8)
         assert cache.get("k") == 2
+
+
+class TestBoundedCache:
+    def test_lru_eviction_at_capacity(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(clock, ttl=100, max_entries=3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)
+        # Touch "a" so "b" becomes the least recently used entry.
+        assert cache.get("a") == "a"
+        cache.put("d", "d")
+        assert len(cache) == 3
+        assert cache.get("b") is None
+        assert cache.get("a") == "a"
+        assert cache.get("d") == "d"
+        assert cache.stats.evictions == 1
+
+    def test_eviction_counter_in_stats_dict(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(clock, ttl=100, max_entries=1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.stats.evictions == 2
+        assert cache.stats.as_dict()["evictions"] == 2
+
+    def test_evictions_reach_metrics(self):
+        from repro.obs import Instrumentation
+        from repro.obs.runtime import attach
+
+        instr = Instrumentation()
+        clock = VirtualClock()
+        cache = MeasurementCache(clock, ttl=100, max_entries=2)
+        attach(instr, cache)
+        for i in range(5):
+            cache.put(i, i)
+        series = instr.registry.snapshot()["cache_evictions_total"][
+            "series"
+        ]
+        assert series and series[0]["value"] == 3.0
+
+    def test_maybe_purge_rate_limited(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(
+            clock, ttl=10, purge_interval=100
+        )
+        cache.put("k", 1)
+        clock.advance(150)  # entry expired at t=10
+        assert cache.maybe_purge() == 1
+        assert len(cache) == 0
+        cache.put("j", 1)
+        clock.advance(50)  # expired again, but inside the interval
+        assert cache.maybe_purge() == 0
+        clock.advance(60)
+        assert cache.maybe_purge() == 1
+
+    def test_unbounded_cache_never_evicts(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(clock, ttl=1000)
+        for i in range(500):
+            cache.put(i, i)
+        assert len(cache) == 500
+        assert cache.stats.evictions == 0

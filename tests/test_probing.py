@@ -64,6 +64,28 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             TokenBucket(VirtualClock(), rate_per_second=0)
 
+    def test_oversized_acquire_leaves_no_debt(self):
+        # Regression: n > burst used to re-apply the burst cap after
+        # the wait and then deduct n, leaving permanent negative-token
+        # debt that made every later caller over-wait.
+        clock = VirtualClock()
+        bucket = TokenBucket(clock, rate_per_second=10, burst=5)
+        waited = bucket.acquire(15)  # n = 3 * burst
+        # The initial deficit is 15 - 5 tokens at 10/s: exactly 1 s.
+        assert waited == pytest.approx(1.0)
+        # The next token costs 1/rate, not (1 + old debt)/rate.
+        assert bucket.acquire(1) == pytest.approx(0.1)
+        assert bucket.would_wait(1) == pytest.approx(0.1)
+
+    def test_oversized_acquire_total_wait_bounded(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(clock, rate_per_second=4, burst=2)
+        start = clock.now()
+        for _ in range(3):
+            bucket.acquire(6)  # each is 3 * burst
+        # 18 tokens at 4/s with 2 free from the initial burst.
+        assert clock.now() - start == pytest.approx(16 / 4)
+
 
 class TestProbeCounter:
     def test_record_and_total(self):

@@ -187,3 +187,25 @@ class TestAtlasContribution:
                     used_atlas += 1
         assert complete > 0
         assert used_atlas / complete >= 0.3
+
+
+class TestVariantNaming:
+    def test_alias_intersection_not_labeled_revtr20(self):
+        # Regression: rr-atlas + cache - TS + alias intersection used
+        # to reuse the plain "revtr2.0" Table 4 row label.
+        config = EngineConfig(use_alias_intersection=True)
+        assert config.use_rr_atlas and config.use_cache
+        assert not config.use_timestamp
+        assert config.variant_name() == "revtr2.0+alias"
+
+    def test_legacy_ladder_labels_unchanged(self):
+        assert (
+            legacy_engine_config(
+                use_cache=True, use_timestamp=False
+            ).variant_name()
+            == "revtr1.0 +cache -TS"
+        )
+
+    def test_legacy_without_alias_flagged(self):
+        config = legacy_engine_config(use_alias_intersection=False)
+        assert "-alias" in config.variant_name()

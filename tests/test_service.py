@@ -130,3 +130,92 @@ class TestRequests:
             service.request(
                 MeasurementRequest(key, dst, "203.0.113.10")
             )
+
+
+class TestQuotaRollover:
+    def test_rollover_via_remaining_today(self):
+        clock = VirtualClock()
+        db = UserDatabase(clock)
+        user = db.add_user("ivy", max_per_day=5)
+        user.charge(clock.now(), n=5)
+        assert user.remaining_today(clock.now()) == 0
+        # remaining_today itself must roll the day, not just charge.
+        clock.advance(86_400)
+        assert user.remaining_today(clock.now()) == 5
+
+    def test_rollover_mid_charge_sequence(self):
+        clock = VirtualClock()
+        db = UserDatabase(clock)
+        user = db.add_user("judy", max_per_day=3)
+        clock.advance(86_400 - 1)
+        user.charge(clock.now(), n=3)
+        clock.advance(2)  # crosses the day boundary
+        user.charge(clock.now(), n=3)
+        assert user.remaining_today(clock.now()) == 0
+
+    def test_refund_restores_quota_same_day(self):
+        clock = VirtualClock()
+        db = UserDatabase(clock)
+        user = db.add_user("kate", max_per_day=4)
+        user.charge(clock.now(), n=4)
+        user.refund(clock.now(), n=2)
+        assert user.remaining_today(clock.now()) == 2
+        user.refund(clock.now(), n=10)  # clamped at zero used
+        assert user.remaining_today(clock.now()) == 4
+
+
+class TestBatchCharging:
+    def test_engine_error_does_not_forfeit_remainder(
+        self, service, small_scenario, monkeypatch
+    ):
+        # Regression: the whole batch used to be charged up front, so
+        # a mid-batch engine error forfeited quota for measurements
+        # that never ran.
+        key = service.add_user("leo", max_per_day=10).api_key
+        source = small_scenario.sources()[1]  # registered earlier
+        dsts = small_scenario.responsive_destinations(
+            4, options_only=True
+        )
+        engine = service._engine_for(source)
+        calls = {"n": 0}
+        real_measure = engine.measure
+
+        def failing_measure(dst):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("engine blew up")
+            return real_measure(dst)
+
+        monkeypatch.setattr(engine, "measure", failing_measure)
+        user = service.users.get("leo")
+        with pytest.raises(RuntimeError):
+            service.request_batch(key, dsts, src=source)
+        now = service.prober.clock.now()
+        # Only the attempted measurements (1 ok + 1 failed) were
+        # charged; the two never-executed ones were not.
+        assert user.remaining_today(now) == 8
+
+
+class TestEngineInvalidation:
+    def test_reregister_drops_stale_engine(
+        self, service, small_scenario
+    ):
+        key = service.add_user("mike").api_key
+        source = small_scenario.sources()[4]
+        service.add_source(key, source)
+        stale = service._engine_for(source)
+        assert stale.atlas is service.registry.sources[source].atlas
+        # Re-registering rebuilds the atlas; the cached engine must go.
+        service.add_source(key, source, replace=True)
+        fresh = service._engine_for(source)
+        assert fresh is not stale
+        assert fresh.atlas is service.registry.sources[source].atlas
+        assert fresh.atlas is not stale.atlas
+
+    def test_duplicate_without_replace_still_rejected(
+        self, service, small_scenario
+    ):
+        key = service.add_user("nina").api_key
+        source = small_scenario.sources()[4]  # registered by mike
+        with pytest.raises(ValueError):
+            service.add_source(key, source)
