@@ -1,0 +1,354 @@
+"""Benchmark: the atlas pipeline vs. the serial atlas build.
+
+Builds the per-source traceroute atlas (Q1) and RR atlas (Q2) for one
+M-Lab source three ways over identically seeded scenarios:
+
+* **serial** — the historical one-probe-at-a-time build with no
+  deduplication;
+* **sharded** — the atlas pipeline: batched probing, per-build hop
+  dedup, and N-shard virtual-lane accounting;
+* **warm** — snapshot save/load instead of re-probing.
+
+Forwarding outcomes are pure functions of each probe, so all build
+modes must produce byte-identical atlases *and* byte-identical
+downstream reverse traceroutes; this script verifies both, then
+reports the deterministic virtual-clock speedup of the sharded
+schedule and the wall-clock speedup of the warm start.
+
+Checks (exit 1 on failure):
+
+* traceroute atlas and RR mapping identical across serial, serial
+  dedup'd, sharded, and snapshot-loaded builds;
+* reverse traceroute results over a fixed measurement stream identical
+  between the serial-build and sharded-build (and warm-started)
+  deployments;
+* sharded virtual-clock speedup >= ``--min-speedup`` (default 3x);
+* warm-start wall-clock speedup >= ``--min-warm-speedup`` (default
+  10x) over the serial cold build;
+* dedup saves probes (``probes_deduped > 0``).
+
+All quantities written to ``benchmarks/reports/BENCH_atlas.json`` are
+virtual-clock or probe-count readings and therefore byte-identical
+across runs, except the ``wall_seconds`` subtree, which records this
+machine's timings (the warm-start headline ratio is reproduced there).
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/report_atlas_pipeline.py
+    PYTHONPATH=src python benchmarks/report_atlas_pipeline.py \
+        --scale small --measurements 6 --min-speedup 1.0 \
+        --min-warm-speedup 5    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.core.atlas import TracerouteAtlas  # noqa: E402
+from repro.core.atlas_pipeline import (  # noqa: E402
+    load_snapshot,
+    save_snapshot,
+)
+from repro.core.rr_atlas import RRAtlas  # noqa: E402
+from repro.experiments import Scenario  # noqa: E402
+from repro.topology import TopologyConfig  # noqa: E402
+
+SEED = 7
+
+SCALES = {
+    "small": TopologyConfig.small,
+    "large": TopologyConfig.large,
+}
+
+
+def fresh_scenario(scale: str, atlas_size: int) -> Scenario:
+    return Scenario(
+        config=SCALES[scale](seed=SEED), seed=SEED, atlas_size=atlas_size
+    )
+
+
+def atlas_key(atlas: TracerouteAtlas):
+    """Full contents of the traceroute atlas, timestamps included."""
+    return {
+        vp: (tuple(trace.hops), trace.reached, trace.timestamp)
+        for vp, trace in atlas.traceroutes.items()
+    }
+
+
+def measure_stream(scenario: Scenario, source, destinations):
+    """Reverse traceroute the fixed *destinations*; hashable results."""
+    engine = scenario.engine(source, "revtr2.0")
+    stream = []
+    for dst in destinations:
+        result = engine.measure(dst)
+        stream.append(
+            (dst, result.status.value, tuple(result.addresses()))
+        )
+    return stream
+
+
+def build_serial(scale: str, atlas_size: int, dedup: bool):
+    """The pre-pipeline build path on a fresh scenario."""
+    scenario = fresh_scenario(scale, atlas_size)
+    source = scenario.sources()[0]
+    virtual_start = scenario.clock.now()
+    wall_start = time.perf_counter()
+    atlas = TracerouteAtlas(source, max_size=atlas_size)
+    atlas.build(
+        scenario.background_prober,
+        scenario.atlas_vp_addrs,
+        scenario.bundle_rng(source),
+        size=atlas_size,
+    )
+    rr_atlas = RRAtlas(atlas)
+    rr_atlas.build(
+        scenario.background_prober,
+        scenario.spoofer_addrs,
+        dedup=dedup,
+        batched=False,
+    )
+    wall = time.perf_counter() - wall_start
+    virtual = scenario.clock.now() - virtual_start
+    scenario.adopt_atlases(source, atlas, rr_atlas)
+    return scenario, source, atlas, rr_atlas, wall, virtual
+
+
+def build_sharded(scale: str, atlas_size: int, shards: int):
+    """The pipeline build path on a fresh scenario."""
+    scenario = fresh_scenario(scale, atlas_size)
+    source = scenario.sources()[0]
+    pipeline = scenario.atlas_pipeline(shards=shards, dedup=True)
+    virtual_start = scenario.clock.now()
+    wall_start = time.perf_counter()
+    atlas, rr_atlas = pipeline.bootstrap(
+        source,
+        scenario.bundle_rng(source),
+        size=atlas_size,
+        max_size=atlas_size,
+    )
+    wall = time.perf_counter() - wall_start
+    virtual = scenario.clock.now() - virtual_start
+    scenario.adopt_atlases(source, atlas, rr_atlas)
+    return scenario, source, atlas, rr_atlas, pipeline, wall, virtual
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="large"
+    )
+    parser.add_argument("--atlas-size", type=int, default=60)
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument(
+        "--measurements",
+        type=int,
+        default=12,
+        help="reverse traceroutes in the fixed identity stream",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="required sharded virtual-clock speedup over serial",
+    )
+    parser.add_argument(
+        "--min-warm-speedup",
+        type=float,
+        default=10.0,
+        help="required warm-start wall-clock speedup over cold serial",
+    )
+    args = parser.parse_args(argv)
+    failures = []
+
+    print("atlas pipeline benchmark")
+    print(
+        f"  {args.scale} topology, atlas size {args.atlas_size}, "
+        f"{args.shards} shards, seed {SEED}"
+    )
+
+    # -- cold builds ---------------------------------------------------
+    serial = build_serial(args.scale, args.atlas_size, dedup=False)
+    (sc_serial, source, atlas_serial, rr_serial,
+     wall_serial, virtual_serial) = serial
+    print(
+        f"  serial:  {len(atlas_serial)} traceroutes, "
+        f"{len(rr_serial)} aliases, {rr_serial.probes_sent} RR probes, "
+        f"{virtual_serial:8.2f} vs, {wall_serial:6.3f} s wall"
+    )
+
+    dedup = build_serial(args.scale, args.atlas_size, dedup=True)
+    (_, _, atlas_dedup, rr_dedup, _, virtual_dedup) = dedup
+
+    sharded = build_sharded(args.scale, args.atlas_size, args.shards)
+    (sc_sharded, _, atlas_sharded, rr_sharded, pipeline,
+     wall_sharded, virtual_sharded) = sharded
+    stages = [report.as_dict() for report in pipeline.reports]
+    serial_virtual_total = sum(
+        s["serial_virtual_seconds"] for s in stages
+    )
+    makespan_total = sum(
+        s["makespan_virtual_seconds"] for s in stages
+    )
+    virtual_speedup = (
+        serial_virtual_total / makespan_total if makespan_total else 0.0
+    )
+    deduped = rr_sharded.probes_deduped
+    print(
+        f"  sharded: serial work {serial_virtual_total:8.2f} vs -> "
+        f"makespan {makespan_total:8.2f} vs "
+        f"({virtual_speedup:.2f}x on {args.shards} shards), "
+        f"{rr_sharded.probes_sent} RR probes (+{deduped} deduped), "
+        f"{wall_sharded:6.3f} s wall"
+    )
+
+    # -- byte-identity across build modes ------------------------------
+    for label, atlas, rr_atlas in (
+        ("serial-dedup", atlas_dedup, rr_dedup),
+        ("sharded", atlas_sharded, rr_sharded),
+    ):
+        if atlas_key(atlas) != atlas_key(atlas_serial):
+            failures.append(
+                f"{label} traceroute atlas differs from serial build"
+            )
+        if rr_atlas._mapping != rr_serial._mapping:
+            failures.append(
+                f"{label} RR mapping differs from serial build"
+            )
+    if deduped <= 0:
+        failures.append("dedup saved no probes")
+    if virtual_speedup < args.min_speedup:
+        failures.append(
+            f"sharded virtual speedup {virtual_speedup:.2f}x < "
+            f"required {args.min_speedup:.2f}x"
+        )
+
+    # -- downstream identity over a fixed measurement stream -----------
+    destinations = sc_serial.responsive_destinations(
+        args.measurements, options_only=True
+    )
+    stream_serial = measure_stream(sc_serial, source, destinations)
+    stream_sharded = measure_stream(sc_sharded, source, destinations)
+    if stream_serial != stream_sharded:
+        failures.append(
+            "reverse traceroutes diverge between serial- and "
+            "sharded-built deployments"
+        )
+    complete = sum(
+        1 for _, status, _ in stream_serial if status == "complete"
+    )
+    print(
+        f"  identity stream: {len(stream_serial)} revtrs, "
+        f"{complete} complete, sharded == serial: "
+        f"{stream_serial == stream_sharded}"
+    )
+
+    # -- warm start ----------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        snap_path = os.path.join(tmp, "atlas.snap")
+        save_snapshot(
+            snap_path, atlas_sharded, rr_sharded, sc_sharded.internet
+        )
+        snap_bytes = os.path.getsize(snap_path)
+        sc_warm = fresh_scenario(args.scale, args.atlas_size)
+        wall_start = time.perf_counter()
+        atlas_warm, rr_warm = load_snapshot(
+            snap_path, sc_warm.internet
+        )
+        wall_warm = time.perf_counter() - wall_start
+    sc_warm.adopt_atlases(source, atlas_warm, rr_warm)
+    warm_speedup = wall_serial / wall_warm if wall_warm else 0.0
+    print(
+        f"  warm:    {snap_bytes} byte snapshot loaded in "
+        f"{wall_warm:6.4f} s wall ({warm_speedup:.1f}x over cold "
+        f"serial, 0 probes)"
+    )
+    if atlas_key(atlas_warm) != atlas_key(atlas_serial):
+        failures.append("warm-started traceroute atlas differs")
+    if rr_warm is None or rr_warm._mapping != rr_serial._mapping:
+        failures.append("warm-started RR mapping differs")
+    stream_warm = measure_stream(sc_warm, source, destinations)
+    if stream_warm != stream_serial:
+        failures.append(
+            "reverse traceroutes diverge on the warm-started deployment"
+        )
+    if warm_speedup < args.min_warm_speedup:
+        failures.append(
+            f"warm-start speedup {warm_speedup:.1f}x < required "
+            f"{args.min_warm_speedup:.1f}x"
+        )
+
+    payload = {
+        "benchmark": "atlas_pipeline",
+        "scale": args.scale,
+        "seed": SEED,
+        "atlas_size": args.atlas_size,
+        "shards": args.shards,
+        "source": source,
+        "serial": {
+            "traceroutes": len(atlas_serial),
+            "rr_aliases": len(rr_serial),
+            "rr_probes_sent": rr_serial.probes_sent,
+            "virtual_seconds": round(virtual_serial, 6),
+        },
+        "serial_dedup": {
+            "rr_probes_sent": rr_dedup.probes_sent,
+            "rr_probes_deduped": rr_dedup.probes_deduped,
+            "virtual_seconds": round(virtual_dedup, 6),
+        },
+        "sharded": {
+            "stages": stages,
+            "rr_probes_sent": rr_sharded.probes_sent,
+            "rr_probes_deduped": deduped,
+            "serial_virtual_seconds": round(serial_virtual_total, 6),
+            "makespan_virtual_seconds": round(makespan_total, 6),
+            "virtual_speedup": round(virtual_speedup, 3),
+        },
+        "warm_start": {
+            "snapshot_bytes": snap_bytes,
+            "probes_sent": 0,
+            "min_wall_speedup_required": args.min_warm_speedup,
+        },
+        "identity": {
+            "atlas_identical": atlas_key(atlas_sharded)
+            == atlas_key(atlas_serial),
+            "rr_mapping_identical": rr_sharded._mapping
+            == rr_serial._mapping,
+            "warm_identical": atlas_key(atlas_warm)
+            == atlas_key(atlas_serial),
+            "measurements": len(stream_serial),
+            "measurements_identical": stream_serial == stream_sharded
+            and stream_serial == stream_warm,
+        },
+        "wall_seconds": {
+            "_comment": "machine-dependent; everything above is "
+            "deterministic",
+            "serial_cold_build": round(wall_serial, 4),
+            "sharded_cold_build": round(wall_sharded, 4),
+            "warm_start_load": round(wall_warm, 4),
+            "warm_start_speedup": round(warm_speedup, 1),
+        },
+    }
+    report_dir = os.path.join(os.path.dirname(__file__), "reports")
+    os.makedirs(report_dir, exist_ok=True)
+    path = os.path.join(report_dir, "BENCH_atlas.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"  wrote {path}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

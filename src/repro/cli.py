@@ -12,6 +12,10 @@ Commands:
   (``--json`` for machine-readable output);
 * ``stats`` — render a Prometheus-style metrics exposition, either
   from a saved snapshot (``--from``) or by running a fresh workload;
+* ``atlas`` — the offline atlas pipeline: ``build`` both atlases for
+  a source over shard lanes with probe dedup, ``save`` a versioned
+  snapshot, ``load`` to warm-start (optionally running measurements
+  off the loaded atlases);
 * ``serve`` — demo the request scheduler: several users with
   different parallel limits submit a burst of requests which are
   multiplexed over ``--parallel`` lanes with admission control
@@ -37,6 +41,7 @@ def _scenario(
         "tiny": TopologyConfig.tiny,
         "small": TopologyConfig.small,
         "evaluation": TopologyConfig.evaluation,
+        "large": TopologyConfig.large,
     }[args.scale](seed=args.seed)
     scenario = Scenario(
         config=config,
@@ -171,6 +176,108 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_atlas(args: argparse.Namespace) -> int:
+    from repro.core.atlas_pipeline import SnapshotError
+
+    instr = Instrumentation()
+    scenario = _scenario(args, instrumentation=instr)
+    source = scenario.sources()[args.source_index]
+
+    if args.atlas_command == "load":
+        try:
+            bundle = scenario.load_atlases(source, args.path)
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        doc = {
+            "source": source,
+            "path": args.path,
+            "traceroutes": len(bundle.atlas),
+            "rr_aliases": (
+                len(bundle.rr_atlas)
+                if bundle.rr_atlas is not None
+                else 0
+            ),
+            "measurements": [],
+        }
+        if args.measure:
+            engine = scenario.engine(source, "revtr2.0")
+            for dst in scenario.responsive_destinations(
+                args.measure, options_only=True
+            ):
+                result = engine.measure(dst)
+                doc["measurements"].append(result.to_dict())
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(
+                f"loaded atlases for {source} from {args.path}: "
+                f"{doc['traceroutes']} traceroutes, "
+                f"{doc['rr_aliases']} RR aliases"
+            )
+            for measured in doc["measurements"]:
+                print(
+                    f"  revtr {measured['dst']} -> {source}: "
+                    f"{measured['status']}, "
+                    f"{len(measured['hops'])} hops"
+                )
+        _write_metrics(instr, args.metrics_out)
+        return 0
+
+    # build / save: cold-build through the pipeline, optionally
+    # snapshotting the result for later warm starts.
+    pipeline = scenario.atlas_pipeline(
+        shards=args.shards,
+        dedup=not args.no_dedup,
+        threaded=args.threaded,
+    )
+    atlas, rr_atlas = pipeline.bootstrap(
+        source,
+        scenario.bundle_rng(source),
+        size=args.atlas_size,
+        max_size=args.atlas_size,
+    )
+    scenario.adopt_atlases(source, atlas, rr_atlas)
+    out = getattr(args, "out", None)
+    if out:
+        scenario.save_atlases(source, out)
+    doc = {
+        "source": source,
+        "shards": args.shards,
+        "dedup": not args.no_dedup,
+        "traceroutes": len(atlas),
+        "rr_aliases": len(rr_atlas),
+        "stages": [report.as_dict() for report in pipeline.reports],
+        "snapshot": out,
+    }
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(
+            f"atlas pipeline for {source}: {len(atlas)} traceroutes, "
+            f"{len(rr_atlas)} RR aliases "
+            f"({args.shards} shards, dedup "
+            f"{'off' if args.no_dedup else 'on'})"
+        )
+        for report in pipeline.reports:
+            print(
+                f"  {report.stage:<10s} {report.tasks:4d} tasks, "
+                f"serial {report.serial_seconds:8.2f} vs -> "
+                f"makespan {report.makespan_seconds:8.2f} vs "
+                f"({report.speedup:.2f}x), "
+                f"probes {report.probes_sent}"
+                + (
+                    f" (+{report.probes_deduped} deduped)"
+                    if report.probes_deduped
+                    else ""
+                )
+            )
+        if out:
+            print(f"  snapshot saved to {out}")
+    _write_metrics(instr, args.metrics_out)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import (
         RevtrService,
@@ -261,7 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
         "--scale",
-        choices=("tiny", "small", "evaluation"),
+        choices=("tiny", "small", "evaluation", "large"),
         default="small",
     )
     parser.add_argument("--atlas-size", type=int, default=20)
@@ -334,6 +441,65 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--source-index", type=int, default=0)
     stats.add_argument("--variant", default="revtr2.0")
     stats.set_defaults(func=_cmd_stats)
+
+    atlas = sub.add_parser(
+        "atlas",
+        help="offline atlas pipeline: sharded build, snapshots",
+    )
+    atlas_sub = atlas.add_subparsers(dest="atlas_command", required=True)
+
+    def _atlas_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--source-index", type=int, default=0)
+        p.add_argument("--json", action="store_true")
+        p.add_argument(
+            "--metrics-out", metavar="FILE",
+            help="write the metrics JSON snapshot to FILE",
+        )
+
+    def _atlas_build_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--shards", type=int, default=4,
+            help="shard lanes for the parallel build",
+        )
+        p.add_argument(
+            "--no-dedup", action="store_true",
+            help="probe every hop occurrence instead of once per "
+            "distinct address",
+        )
+        p.add_argument(
+            "--threaded", action="store_true",
+            help="measure traceroutes on a wall-clock thread pool "
+            "instead of deterministic virtual lanes",
+        )
+        _atlas_common(p)
+
+    atlas_build = atlas_sub.add_parser(
+        "build", help="cold-build both atlases through the pipeline"
+    )
+    atlas_build.add_argument(
+        "--out", metavar="FILE",
+        help="also save a snapshot for later warm starts",
+    )
+    _atlas_build_args(atlas_build)
+    atlas_build.set_defaults(func=_cmd_atlas)
+
+    atlas_save = atlas_sub.add_parser(
+        "save", help="cold-build and snapshot to --out"
+    )
+    atlas_save.add_argument("--out", metavar="FILE", required=True)
+    _atlas_build_args(atlas_save)
+    atlas_save.set_defaults(func=_cmd_atlas)
+
+    atlas_load = atlas_sub.add_parser(
+        "load", help="warm-start from a snapshot"
+    )
+    atlas_load.add_argument("--path", metavar="FILE", required=True)
+    atlas_load.add_argument(
+        "--measure", type=int, default=0,
+        help="run this many reverse traceroutes off the loaded atlases",
+    )
+    _atlas_common(atlas_load)
+    atlas_load.set_defaults(func=_cmd_atlas)
 
     serve = sub.add_parser(
         "serve",

@@ -8,6 +8,15 @@ throughout Section 5's comparisons.
 """
 
 from repro.core.atlas import TracerouteAtlas
+from repro.core.atlas_pipeline import (
+    AtlasPipeline,
+    LaneSchedule,
+    SnapshotError,
+    SnapshotMismatch,
+    StageReport,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.core.adjacency import AdjacencyDatabase
 from repro.core.cache import MeasurementCache
 from repro.core.flags import flag_suspicious_links
@@ -30,6 +39,13 @@ from repro.core.symmetry import SymmetryPolicy, SymmetryStepper
 
 __all__ = [
     "TracerouteAtlas",
+    "AtlasPipeline",
+    "LaneSchedule",
+    "SnapshotError",
+    "SnapshotMismatch",
+    "StageReport",
+    "load_snapshot",
+    "save_snapshot",
     "AdjacencyDatabase",
     "MeasurementCache",
     "flag_suspicious_links",

@@ -55,13 +55,32 @@ class TracerouteAtlas:
         self.traceroutes: Dict[Address, TracerouteResult] = {}
         self._index: Dict[Address, List[Tuple[Address, int]]] = {}
         self._useful: Set[Address] = set()
+        #: vp -> routing generation its trace was measured under; used
+        #: by the generation-keyed incremental refresh.  Traces added
+        #: without a generation always re-measure.
+        self._generation: Dict[Address, int] = {}
+        #: per-traceroute virtual-clock cost of the last build /
+        #: refresh, in measurement order; consumed by the atlas
+        #: pipeline's shard-lane accounting.
+        self.last_build_durations: List[float] = []
+        #: summary counters of the last :meth:`refresh` call.
+        self.last_refresh: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Population
     # ------------------------------------------------------------------
 
-    def add(self, trace: TracerouteResult) -> None:
-        """Insert (or replace) the traceroute from ``trace.src``."""
+    def add(
+        self,
+        trace: TracerouteResult,
+        generation: Optional[int] = None,
+    ) -> None:
+        """Insert (or replace) the traceroute from ``trace.src``.
+
+        *generation* stamps the routing generation the trace was
+        measured under (see :meth:`refresh`); traces added without one
+        are never eligible for the incremental-refresh skip.
+        """
         if trace.dst != self.source:
             raise ValueError(
                 f"traceroute to {trace.dst} does not target atlas "
@@ -71,6 +90,10 @@ class TracerouteAtlas:
         if previous is not None:
             self._unindex(previous)
         self.traceroutes[trace.src] = trace
+        if generation is None:
+            self._generation.pop(trace.src, None)
+        else:
+            self._generation[trace.src] = generation
         for index, hop in enumerate(trace.hops):
             if hop is None:
                 continue
@@ -92,6 +115,27 @@ class TracerouteAtlas:
         if trace is not None:
             self._unindex(trace)
         self._useful.discard(vp)
+        self._generation.pop(vp, None)
+
+    def generation_of(self, vp: Address) -> Optional[int]:
+        """Routing generation *vp*'s trace was measured under."""
+        return self._generation.get(vp)
+
+    def choose_build_vps(
+        self,
+        candidate_vps: Sequence[Address],
+        rng: random.Random,
+        size: Optional[int] = None,
+    ) -> List[Address]:
+        """The random VP selection of :meth:`build`, without probing.
+
+        Exposed so alternative build drivers (the atlas pipeline)
+        consume exactly one shuffle from *rng*, like :meth:`build`.
+        """
+        size = self.max_size if size is None else size
+        chosen = list(candidate_vps)
+        rng.shuffle(chosen)
+        return chosen[:size]
 
     def build(
         self,
@@ -101,25 +145,40 @@ class TracerouteAtlas:
         size: Optional[int] = None,
     ) -> None:
         """Measure traceroutes from random candidate VPs (Q1)."""
-        size = self.max_size if size is None else size
-        chosen = list(candidate_vps)
-        rng.shuffle(chosen)
-        for vp in chosen[:size]:
+        generation = prober.internet.routing_generation
+        self.last_build_durations = []
+        for vp in self.choose_build_vps(candidate_vps, rng, size):
+            started = prober.clock.now()
             trace = paris_traceroute(prober, vp, self.source)
+            self.last_build_durations.append(
+                prober.clock.now() - started
+            )
             if trace.responsive_hops():
-                self.add(trace)
+                self.add(trace, generation=generation)
 
     def refresh(
         self,
         prober: Prober,
         candidate_vps: Sequence[Address],
         rng: random.Random,
+        incremental: bool = False,
     ) -> int:
         """Daily Random++ refresh (Fig. 9b).
 
         Re-measures traceroutes that produced intersections since the
         last refresh and replaces the others with fresh random VPs.
         Returns the number of replaced traceroutes.
+
+        With ``incremental=True``, a kept traceroute is re-measured
+        only if it *could* have changed: the simulator's routing
+        generation moved since it was measured, or it aged past the
+        staleness budget.  Destination-based routing makes the skip
+        sound — with announcements unchanged, re-measuring the same
+        VP-to-source path returns the same hops.
+
+        A kept VP whose re-measurement comes back fully unresponsive
+        is removed (not silently retained stale), and the freed slot is
+        topped up from the candidate pool like any other vacancy.
         """
         keep = set(self._useful)
         drop = [vp for vp in self.traceroutes if vp not in keep]
@@ -129,20 +188,51 @@ class TracerouteAtlas:
             if vp not in self.traceroutes and vp not in keep
         ]
         rng.shuffle(unused_pool)
+        generation = prober.internet.routing_generation
         replaced = 0
+        remeasured = 0
+        skipped = 0
+        pruned = 0
+        durations: List[float] = []
         for vp in drop:
             self.remove(vp)
         for vp in sorted(keep):
-            trace = paris_traceroute(prober, vp, self.source)
-            if trace.responsive_hops():
-                self.add(trace)
+            trace = self.traceroutes.get(vp)
+            if (
+                incremental
+                and trace is not None
+                and self._generation.get(vp) == generation
+                and prober.clock.now() - trace.timestamp
+                < self.staleness
+            ):
+                skipped += 1
+                continue
+            started = prober.clock.now()
+            fresh = paris_traceroute(prober, vp, self.source)
+            durations.append(prober.clock.now() - started)
+            remeasured += 1
+            if fresh.responsive_hops():
+                self.add(fresh, generation=generation)
+            else:
+                self.remove(vp)
+                pruned += 1
         want = self.max_size - len(self.traceroutes)
         for vp in unused_pool[:want]:
+            started = prober.clock.now()
             trace = paris_traceroute(prober, vp, self.source)
+            durations.append(prober.clock.now() - started)
             if trace.responsive_hops():
-                self.add(trace)
+                self.add(trace, generation=generation)
                 replaced += 1
         self._useful.clear()
+        self.last_build_durations = durations
+        self.last_refresh = {
+            "dropped": len(drop),
+            "remeasured": remeasured,
+            "skipped": skipped,
+            "pruned_unresponsive": pruned,
+            "replaced": replaced,
+        }
         return replaced
 
     # ------------------------------------------------------------------

@@ -199,6 +199,17 @@ class Scenario:
     # Per-source bundles
     # ------------------------------------------------------------------
 
+    def bundle_rng(self, source: Address) -> random.Random:
+        """The per-source RNG every atlas build for *source* draws from.
+
+        Centralised so the lazy :meth:`bundle` build, the atlas
+        pipeline, and the ``repro atlas`` CLI verbs all select the
+        same VPs for the same ``(seed, source)``.
+        """
+        return random.Random(
+            self.seed ^ zlib.crc32(source.encode()) & 0xFFFF
+        )
+
     def bundle(self, source: Address) -> SourceBundle:
         bundle = self._bundles.get(source)
         if bundle is None:
@@ -206,9 +217,7 @@ class Scenario:
             atlas.build(
                 self.background_prober,
                 self.atlas_vp_addrs,
-                random.Random(
-                    self.seed ^ zlib.crc32(source.encode()) & 0xFFFF
-                ),
+                self.bundle_rng(source),
                 size=self.atlas_size,
             )
             bundle = SourceBundle(source=source, atlas=atlas)
@@ -222,6 +231,78 @@ class Scenario:
             rr_atlas.build(self.background_prober, self.spoofer_addrs)
             bundle.rr_atlas = rr_atlas
         return bundle.rr_atlas
+
+    def atlas_pipeline(
+        self,
+        shards: int = 4,
+        dedup: bool = True,
+        threaded: bool = False,
+    ) -> "AtlasPipeline":
+        """An :class:`AtlasPipeline` over the background prober."""
+        from repro.core.atlas_pipeline import AtlasPipeline
+
+        return AtlasPipeline(
+            self.background_prober,
+            self.atlas_vp_addrs,
+            self.spoofer_addrs,
+            shards=shards,
+            dedup=dedup,
+            threaded=threaded,
+            instrumentation=self.obs,
+        )
+
+    def adopt_atlases(
+        self,
+        source: Address,
+        atlas: TracerouteAtlas,
+        rr_atlas: Optional[RRAtlas] = None,
+    ) -> SourceBundle:
+        """Install externally built atlases (pipeline or snapshot) as
+        *source*'s bundle, replacing any lazily built state."""
+        if atlas.source != source:
+            raise ValueError(
+                f"atlas for {atlas.source} cannot serve source {source}"
+            )
+        bundle = SourceBundle(
+            source=source, atlas=atlas, rr_atlas=rr_atlas
+        )
+        self._bundles[source] = bundle
+        return bundle
+
+    def save_atlases(self, source: Address, path: str) -> None:
+        """Snapshot *source*'s bundle (atlas + RR atlas) to *path*."""
+        from repro.core.atlas_pipeline import save_snapshot
+
+        bundle = self.bundle(source)
+        save_snapshot(
+            path,
+            bundle.atlas,
+            bundle.rr_atlas,
+            self.internet,
+            instrumentation=self.obs,
+        )
+
+    def load_atlases(self, source: Address, path: str) -> SourceBundle:
+        """Warm-start *source*'s bundle from a snapshot at *path*.
+
+        Raises :class:`repro.core.atlas_pipeline.SnapshotError` (or
+        :class:`~repro.core.atlas_pipeline.SnapshotMismatch`) when the
+        file is unreadable or from a different topology/source.
+        """
+        from repro.core.atlas_pipeline import (
+            SnapshotMismatch,
+            load_snapshot,
+        )
+
+        atlas, rr_atlas = load_snapshot(
+            path, self.internet, instrumentation=self.obs
+        )
+        if atlas.source != source:
+            raise SnapshotMismatch(
+                f"snapshot holds atlases for {atlas.source}, "
+                f"not {source}"
+            )
+        return self.adopt_atlases(source, atlas, rr_atlas)
 
     # ------------------------------------------------------------------
     # Engines

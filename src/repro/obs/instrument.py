@@ -139,6 +139,40 @@ DECLARED_METRICS: Dict[str, Tuple[str, str, Optional[Sequence[float]]]] = {
         "Measurement-cache entries evicted by the LRU bound.",
         None,
     ),
+    "atlas_build_seconds": (
+        "histogram",
+        "Virtual-clock makespan of one atlas pipeline stage, "
+        "by stage and mode.",
+        DEFAULT_TIME_BUCKETS,
+    ),
+    "atlas_probes_deduped_total": (
+        "counter",
+        "RR-atlas probes skipped by the per-build hop deduplicator.",
+        None,
+    ),
+    "atlas_pipeline_shards": (
+        "gauge",
+        "Shard lanes configured on the atlas pipeline.",
+        None,
+    ),
+    "atlas_shard_virtual_seconds": (
+        "gauge",
+        "Virtual-clock probing time assigned to each shard lane "
+        "by the last pipeline stage.",
+        None,
+    ),
+    "atlas_snapshots_total": (
+        "counter",
+        "Atlas snapshot operations, by op (save/load/warm_start) "
+        "and outcome (ok/hit/miss/mismatch/error).",
+        None,
+    ),
+    "atlas_refresh_traceroutes_total": (
+        "counter",
+        "Atlas refresh traceroute dispositions "
+        "(remeasured/skipped/replaced/pruned/dropped).",
+        None,
+    ),
 }
 
 

@@ -220,6 +220,61 @@ class Prober:
             )
         return result
 
+    def rr_ping_batch(
+        self,
+        items: Sequence[Tuple[Address, Address, Optional[Address]]],
+    ) -> List[RRPingResult]:
+        """Record-route pings over the batch walker, loop-identical.
+
+        *items* is a sequence of ``(vp, dst, spoof_as)`` triples
+        (``spoof_as=None`` for direct probes).  The probes are walked
+        through :meth:`Internet.send_probe_batch` — destination
+        resolution and announcement lookup are shared per distinct
+        destination — and then charged and clock-advanced per probe in
+        item order.  Because forwarding outcomes are pure functions of
+        each packet and walks never read the clock, the results, the
+        rate-limiter token dynamics, and the final virtual-clock
+        reading are all byte-identical to an equivalent loop of
+        :meth:`rr_ping` calls; only wall-clock time shrinks.
+        """
+        probes = []
+        metas = []
+        for vp, dst, spoof_as in items:
+            spoofed = spoof_as is not None and spoof_as != vp
+            kind = (
+                ProbeKind.SPOOFED_RECORD_ROUTE
+                if spoofed
+                else ProbeKind.RECORD_ROUTE
+            )
+            probes.append(
+                Probe(
+                    src=spoof_as if spoofed else vp,
+                    dst=dst,
+                    kind=kind,
+                    injected_at=vp,
+                    record_route=RecordRouteOption(),
+                )
+            )
+            metas.append((vp, dst, spoof_as if spoofed else None, kind))
+        outcomes = self.internet.send_probe_batch(probes)
+        results = []
+        for (vp, dst, spoofed_as, kind), outcome in zip(metas, outcomes):
+            self._charge(vp, kind)
+            result = RRPingResult(
+                dst=dst,
+                vp=vp,
+                spoofed_as=spoofed_as,
+                responded=outcome.echo is not None,
+            )
+            if outcome.echo is not None:
+                result.slots = list(outcome.echo.rr_slots)
+                result.rtt = outcome.echo.rtt
+            self.clock.advance(
+                result.rtt if result.responded else LOSS_TIMEOUT
+            )
+            results.append(result)
+        return results
+
     def spoofed_rr_batch(
         self,
         vps: Sequence[Address],

@@ -8,8 +8,12 @@ are auditable in one place:
   destination-based;
 * a load balancer hashes the flow id for option-less packets (Paris
   traceroute keeps the flow id fixed to see one consistent path) and
-  picks *randomly per packet* for option-carrying packets, matching the
-  observation in Appendix E;
+  hashes a *different*, per-router key for option-carrying packets, so
+  RR/TS probes can take other paths than plain packets across the same
+  load balancer — the observation in Appendix E.  The option-packet key
+  is a pure function of the packet and the router, never of probing
+  history, so any schedule of probes (serial, batched, deduplicated,
+  sharded) sees identical outcomes for identical packets;
 * a destination-based-routing violator hashes the packet's source
   address: the same destination gets different next hops for different
   sources, which is exactly the violation Appendix E quantifies.
@@ -17,7 +21,6 @@ are auditable in one place:
 
 from __future__ import annotations
 
-import random
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -142,9 +145,15 @@ def choose_candidate(
     router: Router,
     candidates: List[int],
     probe: Probe,
-    rng: random.Random,
 ) -> int:
-    """Pick one of the equal-cost *candidates* at *router*."""
+    """Pick one of the equal-cost *candidates* at *router*.
+
+    Every branch is a deterministic hash of (packet, router) fields:
+    forwarding is a pure function of the packet, with no hidden state
+    shared between probes.  That property is what lets the batched
+    prober, the RR-atlas probe deduplicator, and snapshot warm starts
+    guarantee byte-identical outcomes to serial probing.
+    """
     if len(candidates) == 1:
         return candidates[0]
     if router.dbr_violator:
@@ -154,7 +163,16 @@ def choose_candidate(
         return candidates[index]
     if router.is_load_balancer:
         if probe.has_options:
-            return rng.choice(candidates)
+            # Option packets are punted off the fast hardware path on
+            # real load balancers, so they spread differently from the
+            # plain-packet flow hash: include the router id and an
+            # options tag so the spread decorrelates from the
+            # option-less choice below.
+            index = zlib.crc32(
+                f"{probe.src}|{probe.dst}|{probe.flow_id}"
+                f"|{router.router_id}|opt".encode()
+            ) % len(candidates)
+            return candidates[index]
         index = zlib.crc32(
             f"{probe.src}|{probe.dst}|{probe.flow_id}".encode()
         ) % len(candidates)

@@ -11,7 +11,8 @@ quirks along the way.
 
 from __future__ import annotations
 
-import random
+import hashlib
+import json
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -150,7 +151,6 @@ class Internet:
         if self.obs.enabled:
             self._on_obs_attached(self.obs)
 
-        self._rng = random.Random(config.seed ^ 0x5EED)
         self._ipid_counters: Dict[Address, int] = {}
         self._intra_next: Dict[Tuple[int, int], Dict[int, List[int]]] = {}
         self._intra_dist: Dict[Tuple[int, int], Dict[int, int]] = {}
@@ -711,7 +711,6 @@ class Internet:
         fib = self._fib_for(spec, dst)
         gen = self.routing_generation
         routers = self.routers
-        rng = self._rng
         crc32 = zlib.crc32
 
         # The loop body below is the FIB dispatch of :meth:`_next_hop`
@@ -776,7 +775,7 @@ class Internet:
                 next_router, egress_addr, next_ingress = entry.via
             elif kind == FIB_ECMP:
                 next_router = choose_candidate(
-                    router, entry.candidates, probe, rng
+                    router, entry.candidates, probe
                 )
                 egress_addr, next_ingress = entry.adj[next_router]
             else:  # FIB_ERROR: deterministic dead end.
@@ -819,9 +818,7 @@ class Internet:
         if kind == FIB_DELIVER:
             return entry.candidates[0]
         if kind == FIB_ECMP:
-            return choose_candidate(
-                router, entry.candidates, probe, self._rng
-            )
+            return choose_candidate(router, entry.candidates, probe)
         if kind in (FIB_DST, FIB_LAN):
             return None
         raise ForwardingError(entry.reason)
@@ -1090,6 +1087,23 @@ class Internet:
         probe = Probe(src=src, dst=dst, flow_id=flow_id)
         outcome = self.send_probe(probe)
         return outcome.forward_router_path
+
+    def topology_fingerprint(self) -> str:
+        """Stable digest identifying this generated topology.
+
+        Hashes the full :class:`TopologyConfig` (seed included) plus
+        the realized entity counts.  Two ``Internet`` instances built
+        from equal configs produce equal fingerprints; any config tweak
+        — scale, seed, latency, responsiveness rates — changes it.
+        Atlas snapshots embed the fingerprint so a snapshot can never
+        be replayed against a different simulated Internet.
+        """
+        doc = dict(vars(self.config))
+        doc["_routers"] = len(self.routers)
+        doc["_hosts"] = len(self.hosts)
+        doc["_ases"] = len(self.graph)
+        blob = json.dumps(doc, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
     def invalidate_routing(self) -> None:
         """Drop routing caches after announcement changes (TE).
