@@ -1,9 +1,11 @@
 """Micro-benchmark: instrumentation overhead on ``measure()``.
 
 Runs the same measurement workload through the null instrumentation
-facade and through a live registry + tracer, and reports the
-wall-clock overhead.  The observability layer's contract is that full
-instrumentation costs < 5% on the measurement hot path.
+facade and through a live registry + tracer + flight-recorder event
+log, and reports the wall-clock overhead.  The observability layer's
+contract is that full instrumentation — including structured event
+emission — costs < 5% on the measurement hot path
+(``--max-overhead`` to tighten or relax the gate).
 
 Methodology: two identically seeded scenarios (one per facade) are
 driven over the same destination list with per-destination
@@ -25,7 +27,9 @@ Run directly (not collected by pytest)::
 
 from __future__ import annotations
 
+import argparse
 import gc
+import json
 import os
 import sys
 import time
@@ -64,75 +68,130 @@ def build(instrumentation):
 
 
 def run_sweep(sweep: int):
-    """One interleaved sweep.
+    """One interleaved sweep over three variants.
 
-    Returns two per-destination time lists (null, instrumented).  Each
-    sweep rebuilds both engines, so destination *i* repeats identical
-    work across sweeps and per-destination minima are comparable.
+    Returns three per-destination time lists: null facade,
+    instrumented without events (metrics + tracer), and fully
+    instrumented (metrics + tracer + event log).  Each sweep rebuilds
+    all engines, so destination *i* repeats identical work across
+    sweeps and per-destination statistics are comparable.
     """
     engine_null, destinations = build(None)
-    engine_instr, _ = build(Instrumentation())
+    engine_instr, _ = build(Instrumentation(event_capacity=0))
+    engine_events, _ = build(Instrumentation())
+    engines = (engine_null, engine_instr, engine_events)
     # The static simulated topology is hundreds of thousands of
     # long-lived objects that only exist because the "Internet" is
     # in-process; freeze it so cyclic-GC passes (triggered by any
     # allocation, instrumented or not) don't rescan it and drown the
     # signal.  GC stays enabled: the instrumentation's own garbage is
-    # still charged to the instrumented variant.
+    # still charged to the instrumented variants.
     gc.collect()
     gc.freeze()
-    null_times = []
-    instr_times = []
+    times = ([], [], [])
     perf = time.perf_counter
     for index, dst in enumerate(destinations):
-        # Alternate ordering by destination AND sweep: measuring a
+        # Rotate ordering by destination AND sweep: measuring a
         # destination warms the CPU caches for its path, favouring
-        # whichever engine goes second.  Flipping the order across
-        # sweeps lets the per-destination minimum pick the warm
-        # ordering for BOTH variants instead of baking the bias in.
-        first, second = (
-            (engine_null, engine_instr)
-            if (index + sweep) % 2 == 0
-            else (engine_instr, engine_null)
-        )
-        t0 = perf()
-        first.measure(dst)
-        t1 = perf()
-        second.measure(dst)
-        t2 = perf()
-        if first is engine_null:
-            null_times.append(t1 - t0)
-            instr_times.append(t2 - t1)
-        else:
-            instr_times.append(t1 - t0)
-            null_times.append(t2 - t1)
+        # whichever engine goes later.  Rotating the starting variant
+        # spreads the warm-cache benefit evenly instead of baking the
+        # bias into one variant.
+        start = (index + sweep) % 3
+        for offset in range(3):
+            variant = (start + offset) % 3
+            t0 = perf()
+            engines[variant].measure(dst)
+            t1 = perf()
+            times[variant].append(t1 - t0)
     gc.unfreeze()
-    return null_times, instr_times
+    return times
 
 
-def main() -> int:
+def event_stats(n_destinations: int):
+    """Event volume for one instrumented pass (not timed).
+
+    Reported alongside the overhead so regressions show up as either
+    "events got slower" or "we emit far more events per measurement".
+    """
+    instr = Instrumentation()
+    engine, destinations = build(instr)
+    for dst in destinations[:n_destinations]:
+        engine.measure(dst)
+    log = instr.events
+    return {
+        "measurements": n_destinations,
+        "events_total": log.total,
+        "events_per_measurement": (
+            log.total / n_destinations if n_destinations else 0.0
+        ),
+        "events_dropped": log.dropped,
+        "by_kind": log.by_kind(),
+    }
+
+
+def main(argv=None) -> int:
+    global N_DESTINATIONS, SWEEPS
+    parser = argparse.ArgumentParser(
+        description="instrumentation overhead micro-benchmark"
+    )
+    parser.add_argument(
+        "--destinations", type=int, default=N_DESTINATIONS,
+        help="measurements per sweep (default %(default)s)",
+    )
+    parser.add_argument(
+        "--sweeps", type=int, default=SWEEPS,
+        help="interleaved sweeps (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=5.0,
+        help="fail if overhead >= this percentage (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    N_DESTINATIONS = args.destinations
+    SWEEPS = args.sweeps
+
     sweeps = [run_sweep(n) for n in range(SWEEPS)]
     # Paired per-destination statistics (see module docstring): the
-    # median across sweeps of (instrumented - null) for destination i
-    # is robust to both inter-sweep machine drift (pairing) and
-    # one-off pauses (median).
+    # median across sweeps of (variant - null) for destination i is
+    # robust to both inter-sweep machine drift (pairing) and one-off
+    # pauses (median).
     baseline = sum(
         median(sweep[0][i] for sweep in sweeps)
         for i in range(N_DESTINATIONS)
     )
-    delta = sum(
+    instr_delta = sum(
         median(sweep[1][i] - sweep[0][i] for sweep in sweeps)
         for i in range(N_DESTINATIONS)
     )
-    instrumented = baseline + delta
-    overhead = delta / baseline * 100.0
+    events_delta = sum(
+        median(sweep[2][i] - sweep[1][i] for sweep in sweeps)
+        for i in range(N_DESTINATIONS)
+    )
+    instrumented = baseline + instr_delta
+    full = instrumented + events_delta
+    instr_overhead = instr_delta / baseline * 100.0
+    event_overhead = events_delta / baseline * 100.0
+    total_overhead = (instr_delta + events_delta) / baseline * 100.0
+    events = event_stats(N_DESTINATIONS)
     print("obs overhead micro-benchmark")
     print(f"  workload: {N_DESTINATIONS} x measure(), small topology, "
           f"interleaved, paired medians over {SWEEPS} sweeps")
-    print(f"  null facade:   {baseline * 1000:8.1f} ms")
-    print(f"  instrumented:  {instrumented * 1000:8.1f} ms")
-    print(f"  overhead:      {overhead:+8.2f} %")
-    verdict = "OK (< 5%)" if overhead < 5.0 else "TOO SLOW (>= 5%)"
-    print(f"  verdict:       {verdict}")
+    print(f"  null facade:     {baseline * 1000:8.1f} ms")
+    print(f"  metrics+tracer:  {instrumented * 1000:8.1f} ms "
+          f"({instr_overhead:+.2f} %)")
+    print(f"  + event log:     {full * 1000:8.1f} ms "
+          f"({total_overhead:+.2f} % total)")
+    print(f"  event overhead:  {event_overhead:+8.2f} %  <- gated")
+    print(f"  events:          {events['events_total']} total, "
+          f"{events['events_per_measurement']:.1f} per measurement, "
+          f"{events['events_dropped']} dropped")
+    ok = event_overhead < args.max_overhead
+    verdict = (
+        f"OK (< {args.max_overhead:g}%)"
+        if ok
+        else f"TOO SLOW (>= {args.max_overhead:g}%)"
+    )
+    print(f"  verdict:         {verdict}")
 
     report_dir = os.path.join(os.path.dirname(__file__), "reports")
     os.makedirs(report_dir, exist_ok=True)
@@ -142,10 +201,34 @@ def main() -> int:
         fh.write(
             f"baseline_ms={baseline * 1000:.3f}\n"
             f"instrumented_ms={instrumented * 1000:.3f}\n"
-            f"overhead_pct={overhead:.3f}\n"
+            f"full_ms={full * 1000:.3f}\n"
+            f"overhead_pct={instr_overhead:.3f}\n"
+            f"event_overhead_pct={event_overhead:.3f}\n"
+            f"total_overhead_pct={total_overhead:.3f}\n"
             f"verdict={verdict}\n"
         )
-    return 0 if overhead < 5.0 else 1
+    with open(
+        os.path.join(report_dir, "BENCH_obs_events.json"), "w"
+    ) as fh:
+        json.dump(
+            {
+                "baseline_ms": round(baseline * 1000, 3),
+                "metrics_tracer_ms": round(instrumented * 1000, 3),
+                "full_ms": round(full * 1000, 3),
+                "instr_overhead_pct": round(instr_overhead, 3),
+                "event_overhead_pct": round(event_overhead, 3),
+                "total_overhead_pct": round(total_overhead, 3),
+                "max_overhead_pct": args.max_overhead,
+                "destinations": N_DESTINATIONS,
+                "sweeps": SWEEPS,
+                "events": events,
+                "ok": ok,
+            },
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -11,7 +11,15 @@ Commands:
 * ``survey`` — the Appendix F record-route responsiveness survey
   (``--json`` for machine-readable output);
 * ``stats`` — render a Prometheus-style metrics exposition, either
-  from a saved snapshot (``--from``) or by running a fresh workload;
+  from a saved snapshot (``--from``) or by running a fresh workload
+  (``--slo`` for the event/histogram-derived SLO rollup instead);
+* ``explain`` — reconstruct one measurement's decision path from the
+  flight recorder: which techniques ran, which VPs were probed, where
+  the probe budget went (from a ``--events`` JSONL export or a fresh
+  instrumented run);
+* ``events`` — dump or tail the structured event log (``--from`` for
+  a JSONL export incl. rotated ``.gz`` segments, ``--follow`` to
+  poll a live file, ``--json`` for raw records);
 * ``atlas`` — the offline atlas pipeline: ``build`` both atlases for
   a source over shard lanes with probe dedup, ``save`` a versioned
   snapshot, ``load`` to warm-start (optionally running measurements
@@ -61,6 +69,35 @@ def _write_metrics(instr: Instrumentation, path: Optional[str]) -> None:
         json.dump(instr.registry.snapshot(), fh, indent=2)
 
 
+def _write_events(
+    instr: Instrumentation,
+    path: Optional[str],
+    rotate_bytes: Optional[int] = None,
+) -> None:
+    """Drain the flight recorder to a JSONL file (optional rotation)."""
+    if not path or instr.events is None:
+        return
+    from repro.obs.eventio import JsonlEventWriter
+
+    with JsonlEventWriter(path, rotate_bytes=rotate_bytes) as writer:
+        writer.drain(instr.events)
+
+
+def _format_event_doc(doc: dict) -> str:
+    """One human-readable line per event record."""
+    clock = (
+        f"sim={doc['sim']:10.3f}" if "sim" in doc
+        else f"wall={doc.get('wall', 0.0):.3f}"
+    )
+    mid = doc.get("mid") or "-"
+    fields = doc.get("fields") or {}
+    payload = " ".join(f"{k}={fields[k]}" for k in sorted(fields))
+    return (
+        f"{doc.get('seq', 0):6d}  {clock}  {mid:<9s} "
+        f"{doc.get('kind', '?'):<18s} {payload}"
+    )
+
+
 def _cmd_measure(args: argparse.Namespace) -> int:
     instr = Instrumentation()
     scenario = _scenario(args, instrumentation=instr)
@@ -101,6 +138,7 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             )
         )
     _write_metrics(instr, args.metrics_out)
+    _write_events(instr, args.events_out)
     return 0
 
 
@@ -160,7 +198,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             iter(snapshot.values()), {}
         ):
             snapshot = snapshot["metrics"]
-        print(render_text(snapshot), end="")
+        if args.slo:
+            from repro.obs.slo import format_slo, slo_summary
+
+            print(format_slo(slo_summary(snapshot)))
+        else:
+            print(render_text(snapshot), end="")
         return 0
 
     # No snapshot given: run a fresh instrumented workload and report.
@@ -172,7 +215,158 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         args.count, options_only=True
     ):
         engine.measure(dst)
-    print(instr.registry.render_prometheus(), end="")
+    if args.slo:
+        from repro.obs.slo import format_slo, slo_summary
+
+        print(format_slo(slo_summary(instr.registry.snapshot())))
+    else:
+        print(instr.registry.render_prometheus(), end="")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.provenance import ProvenanceLedger
+
+    if args.events_file:
+        from repro.obs.eventio import read_events
+
+        try:
+            events = read_events(args.events_file)
+        except FileNotFoundError:
+            print(
+                f"error: no event log at {args.events_file}",
+                file=sys.stderr,
+            )
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        # No export given: run a fresh instrumented measurement (or
+        # --count of them) and explain from the live flight recorder.
+        instr = Instrumentation()
+        scenario = _scenario(args, instrumentation=instr)
+        source = scenario.sources()[args.source_index]
+        engine = scenario.engine(source, args.variant)
+        destinations = (
+            [args.dst]
+            if args.dst
+            else scenario.responsive_destinations(
+                args.count, options_only=True
+            )
+        )
+        for dst in destinations:
+            engine.measure(dst)
+        events = instr.events.events()
+
+    ordered_mids: List[str] = []
+    for event in events:
+        if event.mid is not None and event.mid not in ordered_mids:
+            ordered_mids.append(event.mid)
+    if not ordered_mids:
+        print("error: event log holds no measurements", file=sys.stderr)
+        return 2
+    if args.mid == "all":
+        selected = ordered_mids
+    elif args.mid == "last":
+        selected = [ordered_mids[-1]]
+    elif args.mid in ordered_mids:
+        selected = [args.mid]
+    else:
+        known = ", ".join(ordered_mids[-8:])
+        print(
+            f"error: no events for measurement {args.mid!r} "
+            f"(recent: {known})",
+            file=sys.stderr,
+        )
+        return 2
+
+    documents = []
+    for index, mid in enumerate(selected):
+        ledger = ProvenanceLedger.from_events(events, mid)
+        if args.json:
+            documents.append(ledger.summary())
+            continue
+        if index:
+            print()
+        print(ledger.explain())
+    if args.json:
+        print(
+            json.dumps(
+                documents[0] if len(documents) == 1 else documents,
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    if args.follow:
+        if not args.from_file:
+            print(
+                "error: --follow needs --from FILE (a live JSONL log)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.obs.eventio import follow_jsonl
+
+        try:
+            for doc in follow_jsonl(
+                args.from_file, max_seconds=args.max_seconds
+            ):
+                if args.kind and doc.get("kind") != args.kind:
+                    continue
+                if args.mid and doc.get("mid") != args.mid:
+                    continue
+                print(
+                    json.dumps(doc, sort_keys=True)
+                    if args.json
+                    else _format_event_doc(doc)
+                )
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    if args.from_file:
+        from repro.obs.eventio import read_events
+
+        try:
+            events = read_events(args.from_file)
+        except FileNotFoundError:
+            print(
+                f"error: no event log at {args.from_file}",
+                file=sys.stderr,
+            )
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        # No file: run a fresh instrumented workload and dump its log.
+        instr = Instrumentation()
+        scenario = _scenario(args, instrumentation=instr)
+        source = scenario.sources()[args.source_index]
+        engine = scenario.engine(source, args.variant)
+        for dst in scenario.responsive_destinations(
+            args.count, options_only=True
+        ):
+            engine.measure(dst)
+        events = instr.events.events()
+
+    if args.kind:
+        events = [e for e in events if e.kind == args.kind]
+    if args.mid:
+        events = [e for e in events if e.mid == args.mid]
+    if args.tail:
+        events = events[-args.tail:]
+    for event in events:
+        doc = event.to_dict()
+        print(
+            json.dumps(doc, sort_keys=True)
+            if args.json
+            else _format_event_doc(doc)
+        )
     return 0
 
 
@@ -357,6 +551,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cap = service.users.get(name).max_parallel
             print(f"  {name}: peak {peak} in flight (cap {cap})")
     _write_metrics(instr, args.metrics_out)
+    _write_events(instr, args.events_out, rotate_bytes=args.events_rotate)
     return 0
 
 
@@ -402,6 +597,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the metrics JSON snapshot to FILE",
     )
+    measure.add_argument(
+        "--events-out",
+        metavar="FILE",
+        help="export the flight-recorder event log to FILE (JSONL)",
+    )
     measure.set_defaults(func=_cmd_measure)
 
     asymmetry = sub.add_parser(
@@ -440,7 +640,89 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--count", type=int, default=3)
     stats.add_argument("--source-index", type=int, default=0)
     stats.add_argument("--variant", default="revtr2.0")
+    stats.add_argument(
+        "--slo",
+        action="store_true",
+        help="print the SLO rollup (per-technique success rates, "
+        "latency quantiles) instead of the raw exposition",
+    )
     stats.set_defaults(func=_cmd_stats)
+
+    explain = sub.add_parser(
+        "explain",
+        help="reconstruct one measurement's decision path from the "
+        "flight recorder",
+    )
+    explain.add_argument(
+        "mid",
+        nargs="?",
+        default="last",
+        help="measurement id (m-000001, ...), 'last', or 'all' "
+        "(default: last)",
+    )
+    explain.add_argument(
+        "--events",
+        dest="events_file",
+        metavar="FILE",
+        help="read a JSONL event export (measure/serve --events-out) "
+        "instead of running a fresh measurement",
+    )
+    explain.add_argument("--dst", help="specific destination address")
+    explain.add_argument("--count", type=int, default=1)
+    explain.add_argument("--source-index", type=int, default=0)
+    explain.add_argument("--variant", default="revtr2.0")
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable provenance summary instead of the "
+        "narrative",
+    )
+    explain.set_defaults(func=_cmd_explain)
+
+    events = sub.add_parser(
+        "events",
+        help="dump or tail the structured event log",
+    )
+    events.add_argument(
+        "--from",
+        dest="from_file",
+        metavar="FILE",
+        help="read a JSONL export (incl. rotated .gz segments) "
+        "instead of running a fresh workload",
+    )
+    events.add_argument(
+        "--follow",
+        action="store_true",
+        help="poll FILE for appended events (tail -f); needs --from",
+    )
+    events.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="stop following after this many seconds (default: never)",
+    )
+    events.add_argument(
+        "--kind", help="only events of this kind (e.g. rr.step)"
+    )
+    events.add_argument(
+        "--mid", help="only events for this measurement id"
+    )
+    events.add_argument(
+        "--tail",
+        type=int,
+        default=0,
+        metavar="N",
+        help="only the last N events",
+    )
+    events.add_argument(
+        "--json",
+        action="store_true",
+        help="raw JSONL records instead of formatted lines",
+    )
+    events.add_argument("--count", type=int, default=3)
+    events.add_argument("--source-index", type=int, default=0)
+    events.add_argument("--variant", default="revtr2.0")
+    events.set_defaults(func=_cmd_events)
 
     atlas = sub.add_parser(
         "atlas",
@@ -537,6 +819,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="FILE",
         help="write the metrics JSON snapshot to FILE",
     )
+    serve.add_argument(
+        "--events-out",
+        metavar="FILE",
+        help="export the flight-recorder event log to FILE (JSONL)",
+    )
+    serve.add_argument(
+        "--events-rotate",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="gzip-rotate the event log once it exceeds BYTES "
+        "(FILE.1.gz, FILE.2.gz, ...)",
+    )
     serve.set_defaults(func=_cmd_serve)
     return parser
 
@@ -544,7 +839,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Piped into `head` etc.; suppress the noisy traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

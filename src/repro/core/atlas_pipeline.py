@@ -232,6 +232,22 @@ class AtlasPipeline:
                     probes_deduped,
                     atlas="rr",
                 )
+            self.obs.emit(
+                "atlas.stage",
+                stage=stage,
+                mode=report.mode,
+                shards=self.shards,
+                tasks=report.tasks,
+                serial=round(report.serial_seconds, 6),
+                makespan=round(report.makespan_seconds, 6),
+                probes_sent=probes_sent,
+                probes_deduped=probes_deduped,
+                **(
+                    {"dispositions": dict(dispositions)}
+                    if dispositions
+                    else {}
+                ),
+            )
         return report
 
     # -- traceroute atlas stage ----------------------------------------
@@ -402,10 +418,22 @@ class AtlasPipeline:
                             op="warm_start",
                             outcome="hit",
                         )
+                        self.obs.emit(
+                            "atlas.snapshot",
+                            op="warm_start",
+                            outcome="hit",
+                            path=path,
+                        )
                     return atlas, rr_atlas, True
         if self.obs.enabled:
             self.obs.inc(
                 "atlas_snapshots_total", op="warm_start", outcome="miss"
+            )
+            self.obs.emit(
+                "atlas.snapshot",
+                op="warm_start",
+                outcome="miss",
+                path=path,
             )
         atlas, rr_atlas = self.bootstrap(
             source, rng, size=size, max_size=max_size, staleness=staleness
@@ -492,6 +520,7 @@ def save_snapshot(
             fh.write(payload)
     if obs.enabled:
         obs.inc("atlas_snapshots_total", op="save", outcome="ok")
+        obs.emit("atlas.snapshot", op="save", outcome="ok", path=path)
 
 
 def load_snapshot(
@@ -512,6 +541,9 @@ def load_snapshot(
     def _fail(outcome: str, exc: SnapshotError) -> SnapshotError:
         if obs.enabled:
             obs.inc("atlas_snapshots_total", op="load", outcome=outcome)
+            obs.emit(
+                "atlas.snapshot", op="load", outcome=outcome, path=path
+            )
         return exc
 
     try:
@@ -580,4 +612,5 @@ def load_snapshot(
         rr_atlas.probes_deduped = rr_spec.get("probes_deduped", 0)
     if obs.enabled:
         obs.inc("atlas_snapshots_total", op="load", outcome="ok")
+        obs.emit("atlas.snapshot", op="load", outcome="ok", path=path)
     return atlas, rr_atlas

@@ -118,25 +118,43 @@ class MeasurementCache:
         if not self.enabled:
             self.stats.misses += 1
             return None
+        outcome = "miss"
+        value: Optional[Any] = None
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
+            if entry is not None:
+                stored_at, stored = entry
+                if self.clock.now() - stored_at > self.ttl:
+                    del self._entries[key]
+                    self.stats.expirations += 1
+                    self.stats.misses += 1
+                    outcome = "expired"
+                else:
+                    if self.max_entries is not None:
+                        # LRU bookkeeping: re-insert so dict order
+                        # tracks recency.  Only paid when a bound is
+                        # configured — the unbounded cache keeps the
+                        # plain-dict fast path.
+                        del self._entries[key]
+                        self._entries[key] = entry
+                    self.stats.hits += 1
+                    outcome = "hit"
+                    value = stored
+            else:
                 self.stats.misses += 1
-                return None
-            stored_at, value = entry
-            if self.clock.now() - stored_at > self.ttl:
-                del self._entries[key]
-                self.stats.expirations += 1
-                self.stats.misses += 1
-                return None
-            if self.max_entries is not None:
-                # LRU bookkeeping: re-insert so dict order tracks
-                # recency.  Only paid when a bound is configured — the
-                # unbounded cache keeps the plain-dict fast path.
-                del self._entries[key]
-                self._entries[key] = entry
-            self.stats.hits += 1
-            return value
+        if outcome != "miss" and self.obs.enabled:
+            # Flight-recorder entry outside the lock.  Misses are the
+            # overwhelmingly common case and carry no information the
+            # engine's own step events don't — only hits and expiries
+            # (decisions that changed the measurement's course) earn an
+            # event.  The kind label is the first element of tuple keys
+            # ("rr-step", "fwd-trace", ...).
+            self.obs.emit(
+                "cache.lookup",
+                kind=key[0] if isinstance(key, tuple) and key else "?",
+                outcome=outcome,
+            )
+        return value
 
     def put(self, key: Hashable, value: Any) -> None:
         if not self.enabled:

@@ -71,6 +71,11 @@ class ReverseTracerouteResult:
     #: AS-level path with "*" markers from the §5.2.2 flagging;
     #: populated by :func:`repro.core.flags.flag_suspicious_links`.
     flagged_as_path: Optional[List[object]] = None
+    #: flight-recorder correlation id (``m-000001``); set only when the
+    #: engine runs with live instrumentation, and deliberately NOT part
+    #: of :meth:`to_dict` so measurement output stays byte-identical
+    #: with events on or off.  ``repro explain <id>`` keys off it.
+    measurement_id: Optional[str] = None
 
     # ------------------------------------------------------------------
 

@@ -170,6 +170,9 @@ class RevtrEngine:
         #: intersect attempts in the measurement in flight (annotated
         #: onto the root span when it closes)
         self._m_intersects = 0
+        #: flight-recorder handle, or None when observability is off —
+        #: emit sites test one local instead of two attribute hops.
+        self._ev = self.obs.events if self._obs_on else None
         if self._obs_on:
             self.obs.register_collect_source(self._obs_collect)
         self.spoofers = list(spoofers)
@@ -224,9 +227,27 @@ class RevtrEngine:
             out[("revtr_fallbacks_total", labels)] = float(n)
         return out
 
-    def _fallback(self, outcome: str, link: Optional[str] = None) -> None:
+    def _fallback(
+        self,
+        outcome: str,
+        link: Optional[str] = None,
+        hop: Optional[Address] = None,
+        penultimate: Optional[Address] = None,
+    ) -> None:
         key = (outcome, link)
         self._t_fallbacks[key] = self._t_fallbacks.get(key, 0) + 1
+        if self._ev is not None:
+            # One event carries the whole assume-symmetry decision
+            # (outcome + the penultimate hop it hinged on) — the hot
+            # loop emits a single record per fallback, not two.
+            fields: Dict[str, object] = {"outcome": outcome}
+            if link is not None:
+                fields["link"] = link
+            if hop is not None:
+                fields["hop"] = str(hop)
+            if penultimate is not None:
+                fields["penultimate"] = str(penultimate)
+            self._ev.emit("fallback", **fields)
 
     def _harvest_terminal_from_atlas(self) -> None:
         """Learn the source's first-hop addresses from atlas tails."""
@@ -268,6 +289,10 @@ class RevtrEngine:
         self._m_intersects += 1
         hit, via = self._intersect_lookup(current)
         if hit is None:
+            # No event for the miss: the loop proceeds to an rr.step,
+            # whose event implies the preceding atlas miss (the ledger
+            # synthesises the miss line), so the hot path pays one
+            # emit per hop instead of two.
             self._step("intersect_miss")
             return None
         self._step("intersect_hit")
@@ -275,6 +300,15 @@ class RevtrEngine:
             "atlas.intersect", hop=str(current), via=via
         ) as span:
             span.annotate(vp=str(hit.vp), index=hit.index)
+        if self._ev is not None:
+            self._ev.emit(
+                "intersect",
+                hop=str(current),
+                outcome="hit",
+                via=via,
+                vp=str(hit.vp),
+                index=hit.index,
+            )
         return hit
 
     def _intersect_lookup(
@@ -306,11 +340,20 @@ class RevtrEngine:
         self, current: Address
     ) -> Tuple[List[Address], HopTechnique]:
         """Try to reveal reverse hops from *current* with record route."""
+        ev = self._ev
         with self.obs.span("rr.step", hop=str(current)) as span:
             key = ("rr-step", self.source, current)
             cached = self.cache.get(key)
             if cached is not None:
                 span.annotate(cached=True, revealed=len(cached[0]))
+                if ev is not None:
+                    ev.emit(
+                        "rr.step",
+                        hop=str(current),
+                        source="cache",
+                        technique=cached[1].value,
+                        revealed=len(cached[0]),
+                    )
                 return cached
 
             result = self.prober.rr_ping(self.source, current)
@@ -322,10 +365,20 @@ class RevtrEngine:
                     technique="rr",
                     revealed=len(outcome[0]),
                 )
+                if ev is not None:
+                    ev.emit(
+                        "rr.step",
+                        hop=str(current),
+                        source="direct",
+                        technique="rr",
+                        revealed=len(outcome[0]),
+                    )
                 self.cache.put(key, outcome)
                 return outcome
 
+            batches = 0
             for results in self._spoofed_batches(current):
+                batches += 1
                 best = max(results, key=lambda r: len(r.reverse_hops()))
                 if best.reverse_hops():
                     outcome = (
@@ -337,6 +390,15 @@ class RevtrEngine:
                         technique="spoofed-rr",
                         revealed=len(outcome[0]),
                     )
+                    if ev is not None:
+                        ev.emit(
+                            "rr.step",
+                            hop=str(current),
+                            source="spoofed",
+                            technique="spoofed-rr",
+                            revealed=len(outcome[0]),
+                            batches=batches,
+                        )
                     self.cache.put(key, outcome)
                     return outcome
             outcome = ([], HopTechnique.SPOOFED_RR)
@@ -345,6 +407,15 @@ class RevtrEngine:
                 technique="spoofed-rr",
                 revealed=0,
             )
+            if ev is not None:
+                ev.emit(
+                    "rr.step",
+                    hop=str(current),
+                    source="none",
+                    technique="spoofed-rr",
+                    revealed=0,
+                    batches=batches,
+                )
             self.cache.put(key, outcome)
             return outcome
 
@@ -361,7 +432,7 @@ class RevtrEngine:
         if hasattr(self.selector, "session"):
             session = self.selector.session(current)
         if session is not None:
-            for _ in range(self.config.max_batches_per_hop):
+            for index in range(self.config.max_batches_per_hop):
                 batch = [
                     vp
                     for vp in session.next_batch()
@@ -369,7 +440,9 @@ class RevtrEngine:
                 ]
                 if not batch:
                     return
-                results = self._instrumented_batch(current, batch)
+                results = self._instrumented_batch(
+                    current, batch, index=index, mode="session"
+                )
                 for probe_result in results:
                     session.observe(
                         probe_result.vp, probe_result.slots
@@ -382,9 +455,13 @@ class RevtrEngine:
             vps = [vp for vp in batch if vp != self.source]
             if not vps:
                 continue
-            yield self._instrumented_batch(current, vps)
+            yield self._instrumented_batch(
+                current, vps, index=index, mode="static"
+            )
 
-    def _instrumented_batch(self, current: Address, vps):
+    def _instrumented_batch(
+        self, current: Address, vps, index: int = 0, mode: str = "static"
+    ):
         with self.obs.span(
             "rr.spoofed_batch", hop=str(current), vps=len(vps),
             batched=True,
@@ -392,10 +469,21 @@ class RevtrEngine:
             results = self.prober.spoofed_rr_batch(
                 vps, current, spoof_as=self.source
             )
-            span.annotate(
-                responses=sum(1 for r in results if r.responded)
-            )
+            responses = sum(1 for r in results if r.responded)
+            span.annotate(responses=responses)
         self._step("rr_spoofed")
+        if self._ev is not None:
+            # The VP list is the "which vantage points and why" record:
+            # order reflects the selector's ranking (ingress-closest
+            # first in session mode).
+            self._ev.emit(
+                "rr.batch",
+                hop=str(current),
+                batch=index,
+                mode=mode,
+                vps=[str(vp) for vp in vps],
+                responses=responses,
+            )
         return results
 
     def _refresh_intersection(self, hit, current: Address):
@@ -403,6 +491,10 @@ class RevtrEngine:
         per-request staleness bound), then retry the lookup."""
         from repro.probing.traceroute import paris_traceroute
 
+        if self._ev is not None:
+            self._ev.emit(
+                "intersect.refresh", hop=str(current), vp=str(hit.vp)
+            )
         trace = paris_traceroute(self.prober, hit.vp, self.source)
         if trace.responsive_hops():
             self.atlas.add(trace)
@@ -480,8 +572,22 @@ class RevtrEngine:
                     )
                 if result.adjacency_on_reverse_path:
                     span.annotate(adjacent=str(adj))
+                    if self._ev is not None:
+                        self._ev.emit(
+                            "ts.step",
+                            hop=str(current),
+                            candidates=len(candidates),
+                            adjacent=str(adj),
+                        )
                     return adj
             span.annotate(adjacent=None)
+            if self._ev is not None:
+                self._ev.emit(
+                    "ts.step",
+                    hop=str(current),
+                    candidates=len(candidates),
+                    adjacent=None,
+                )
             return None
 
     # ------------------------------------------------------------------
@@ -496,19 +602,35 @@ class RevtrEngine:
         ``engine.obs.tracer``) and bumps the ``revtr_*`` metrics; with
         the null facade the control flow is byte-for-byte the same.
         """
-        with self.obs.span(
-            "revtr.measure",
-            src=str(self.source),
-            dst=str(dst),
-            variant=self.config.variant_name(),
-        ) as span:
-            result = self._measure(dst)
-            span.annotate(
-                status=result.status.value,
-                hops=len(result.hops),
-                intersect_attempts=self._m_intersects,
+        ev = self._ev
+        mid = previous_mid = None
+        if ev is not None:
+            mid = ev.new_measurement_id()
+            previous_mid = ev.set_current(mid)
+            ev.emit(
+                "measure.begin",
+                src=str(self.source),
+                dst=str(dst),
+                variant=self.config.variant_name(),
             )
-        return result
+        try:
+            with self.obs.span(
+                "revtr.measure",
+                src=str(self.source),
+                dst=str(dst),
+                variant=self.config.variant_name(),
+            ) as span:
+                result = self._measure(dst)
+                span.annotate(
+                    status=result.status.value,
+                    hops=len(result.hops),
+                    intersect_attempts=self._m_intersects,
+                )
+            result.measurement_id = mid
+            return result
+        finally:
+            if ev is not None:
+                ev.set_current(previous_mid)
 
     def _measure(self, dst: Address) -> ReverseTracerouteResult:
         clock = self.prober.clock
@@ -532,6 +654,8 @@ class RevtrEngine:
                 root = self.obs.tracer.active_span
                 if root is not None:
                     root.annotate(ping_check=alive)
+                if self._ev is not None:
+                    self._ev.emit("measure.ping_check", alive=alive)
             if not alive:
                 result.status = RevtrStatus.UNRESPONSIVE
                 self._finish(result, start_time, counts_before)
@@ -589,6 +713,14 @@ class RevtrEngine:
                         hops=len(hops) - before,
                         stale=result.stale_intersection,
                     )
+                if self._ev is not None:
+                    self._ev.emit(
+                        "stitch",
+                        vp=str(hit.vp),
+                        index=hit.index,
+                        hops=len(hops) - before,
+                        stale=result.stale_intersection,
+                    )
                 status = RevtrStatus.COMPLETE
                 break
 
@@ -605,6 +737,7 @@ class RevtrEngine:
             if fresh:
                 terminated = False
                 next_current: Optional[Address] = None
+                adopted_before = len(hops)
                 for addr in fresh:
                     hops.append(ReverseHop(addr, technique))
                     seen.add(addr)
@@ -617,6 +750,16 @@ class RevtrEngine:
                         status = RevtrStatus.COMPLETE
                         terminated = True
                         break
+                if self._ev is not None:
+                    self._ev.emit(
+                        "hops.adopted",
+                        technique=technique.value,
+                        addrs=[
+                            str(hop.addr)
+                            for hop in hops[adopted_before:]
+                            if hop.technique is technique
+                        ],
+                    )
                 if terminated:
                     break
                 if next_current is not None:
@@ -656,7 +799,7 @@ class RevtrEngine:
                 if first is not None:
                     self._terminal.add(first)
             if outcome.adjacent_to_source:
-                self._fallback("adjacent-source")
+                self._fallback("adjacent-source", hop=current)
                 hops.append(ReverseHop(source, HopTechnique.SOURCE))
                 status = RevtrStatus.COMPLETE
                 break
@@ -664,17 +807,27 @@ class RevtrEngine:
                 outcome.penultimate is None
                 or outcome.penultimate in seen
             ):
-                self._fallback("dead-end")
+                self._fallback("dead-end", hop=current)
                 status = RevtrStatus.INCOMPLETE
                 break
             if (
                 self.config.symmetry is SymmetryPolicy.INTRADOMAIN_ONLY
                 and outcome.link is not LinkType.INTRA
             ):
-                self._fallback("aborted-interdomain")
+                self._fallback(
+                    "aborted-interdomain",
+                    outcome.link.value,
+                    hop=current,
+                    penultimate=outcome.penultimate,
+                )
                 status = RevtrStatus.ABORTED_INTERDOMAIN
                 break
-            self._fallback("adopted", outcome.link.value)
+            self._fallback(
+                "adopted",
+                outcome.link.value,
+                hop=current,
+                penultimate=outcome.penultimate,
+            )
             hops.append(
                 ReverseHop(
                     outcome.penultimate,
@@ -720,4 +873,20 @@ class RevtrEngine:
         if self._obs_on:
             self.obs.observe(
                 "revtr_measure_duration_seconds", result.duration
+            )
+        if self._ev is not None:
+            # The closing ledger entry: final status, the probe budget
+            # actually spent, and the full path with per-hop technique
+            # attribution (so `repro explain` can reconstruct the
+            # decision record even if mid-flight events were dropped).
+            self._ev.emit(
+                "measure.end",
+                status=status,
+                hops=len(result.hops),
+                duration=result.duration,
+                probes=dict(result.probe_counts),
+                path=[
+                    [str(hop.addr), hop.technique.value]
+                    for hop in result.hops
+                ],
             )

@@ -97,6 +97,10 @@ class Scenario:
         if self.obs.tracer is not None and self.obs.tracer.clock is None:
             # Late-bind the sim clock so spans record sim durations.
             self.obs.tracer.clock = self.clock
+        events = getattr(self.obs, "events", None)
+        if events is not None and events.clock is None:
+            # Same late-binding for flight-recorder sim timestamps.
+            events.clock = self.clock
         attach(self.obs, self.internet)
         self.online_counter = ProbeCounter()
         self.background_counter = ProbeCounter()

@@ -18,8 +18,16 @@ Prometheus text format, and :mod:`repro.obs.runtime` holds the
 process-wide default instrumentation plus the runtime-introspection
 helpers used by ``repro stats`` and
 :meth:`repro.service.api.RevtrService.metrics_snapshot`.
+
+The *flight recorder* adds a fourth layer: :mod:`repro.obs.events`
+(bounded structured event log), :mod:`repro.obs.eventio` (JSONL export
+with gzip rotation), :mod:`repro.obs.provenance` (per-measurement
+decision ledger behind ``repro explain``), and :mod:`repro.obs.slo`
+(histogram-derived SLO summaries for ``repro stats --slo``).
 """
 
+from repro.obs.eventio import JsonlEventWriter, follow_jsonl, read_events
+from repro.obs.events import EVENT_SCHEMA_VERSION, Event, EventLog
 from repro.obs.exposition import render_text
 from repro.obs.instrument import (
     NULL,
@@ -33,6 +41,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.provenance import ProvenanceLedger, explain_measurement
 from repro.obs.runtime import (
     disable,
     enable,
@@ -40,23 +49,34 @@ from repro.obs.runtime import (
     introspect,
     set_default,
 )
+from repro.obs.slo import format_slo, slo_summary
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
     "BoundCounter",
     "Counter",
+    "EVENT_SCHEMA_VERSION",
+    "Event",
+    "EventLog",
     "Gauge",
     "Histogram",
     "Instrumentation",
+    "JsonlEventWriter",
     "MetricsRegistry",
     "NULL",
     "NullInstrumentation",
+    "ProvenanceLedger",
     "Span",
     "Tracer",
     "disable",
     "enable",
+    "explain_measurement",
+    "follow_jsonl",
+    "format_slo",
     "get_default",
     "introspect",
+    "read_events",
     "render_text",
     "set_default",
+    "slo_summary",
 ]

@@ -1,0 +1,308 @@
+"""The measurement flight recorder: a structured event log.
+
+Every operationally interesting decision the system makes — which
+technique the engine attempted, which vantage points a spoofed batch
+used, whether the atlas answered, how the scheduler admitted or
+rejected a job — is recorded as one :class:`Event` in a process-wide
+:class:`EventLog`.  Together with the per-measurement *provenance
+ledger* built on top (:mod:`repro.obs.provenance`), the log answers
+the questions metrics only answer in aggregate: *why* did this
+measurement take this path, where did its probe budget go, which
+fallback fired.
+
+Design constraints, in order:
+
+* **hot-path cost** — ``emit`` is one tuple store into a preallocated
+  ring.  The slot index comes from an :class:`itertools.count` (whose
+  ``next()`` is atomic under the GIL) and each event writes only its
+  own slot, so the common path takes no lock; the ring silently
+  overwrites the oldest events when full and counts them as dropped.
+* **correlation** — every event carries a monotonic sequence number
+  plus wall-clock and sim-clock timestamps, and is stamped with the
+  current *measurement id* (thread-local, set by the engine for the
+  duration of one ``measure()`` call) so one measurement's events can
+  be pulled out of the shared log.
+* **serialisability** — events export as JSONL-able dicts under a
+  versioned schema (:data:`EVENT_SCHEMA_VERSION`); see
+  :mod:`repro.obs.eventio` for the file format and gzip rotation.
+
+The log is reached through the instrumentation facade
+(``obs.emit(kind, **fields)``): with the null facade the emit is a
+no-op ``pass``, so disabled-mode overhead stays ~zero.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+#: Version of the exported event record layout.  Bump on incompatible
+#: changes to the dict shape; readers reject unknown versions rather
+#: than guessing at field meanings.
+EVENT_SCHEMA_VERSION = 1
+
+#: Default ring capacity.  Roughly 30 events per measurement means the
+#: default retains the last ~500 measurements' worth of decisions.
+DEFAULT_CAPACITY = 16_384
+
+_time = time.time
+
+
+class Event:
+    """One recorded decision, materialised from a ring slot."""
+
+    __slots__ = ("seq", "wall", "sim", "mid", "kind", "fields")
+
+    def __init__(
+        self,
+        seq: int,
+        wall: float,
+        sim: Optional[float],
+        mid: Optional[str],
+        kind: str,
+        fields: Optional[Dict[str, Any]],
+    ) -> None:
+        self.seq = seq
+        self.wall = wall
+        self.sim = sim
+        self.mid = mid
+        self.kind = kind
+        self.fields = fields if fields is not None else {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSONL record (schema :data:`EVENT_SCHEMA_VERSION`)."""
+        out: Dict[str, Any] = {
+            "v": EVENT_SCHEMA_VERSION,
+            "seq": self.seq,
+            "wall": round(self.wall, 6),
+            "kind": self.kind,
+        }
+        if self.sim is not None:
+            out["sim"] = round(self.sim, 6)
+        if self.mid is not None:
+            out["mid"] = self.mid
+        if self.fields:
+            out["fields"] = _jsonable_fields(self.fields)
+        return out
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Event":
+        version = doc.get("v")
+        if version != EVENT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported event schema version {version!r} "
+                f"(this build reads v{EVENT_SCHEMA_VERSION})"
+            )
+        return cls(
+            seq=doc["seq"],
+            wall=doc.get("wall", 0.0),
+            sim=doc.get("sim"),
+            mid=doc.get("mid"),
+            kind=doc["kind"],
+            fields=doc.get("fields"),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(seq={self.seq}, kind={self.kind!r}, "
+            f"mid={self.mid!r}, fields={self.fields!r})"
+        )
+
+
+def _jsonable_fields(fields: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: _jsonable(v) for k, v in fields.items()}
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+class EventLog:
+    """A thread-safe, bounded, low-overhead structured event log.
+
+    Events live in a preallocated ring of ``capacity`` slots; the
+    oldest are overwritten (and tallied as :attr:`dropped`) once the
+    ring wraps.  Reads (:meth:`events`, :meth:`tail`) snapshot the
+    ring under a lock; writes never take it.
+    """
+
+    __slots__ = (
+        "capacity", "clock", "_slots", "_seq", "_mids",
+        "_local", "_lock", "_cleared", "_floor",
+    )
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        clock=None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        #: duck-typed ``now() -> float`` sim clock; may be bound late
+        #: (the Scenario wires it the same way as the tracer's).
+        self.clock = clock
+        self._slots: List[Any] = [None] * capacity
+        # next() is atomic under the GIL: each emit claims a distinct
+        # sequence number / slot without locking.
+        self._seq = itertools.count()
+        self._mids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        #: events discarded by explicit :meth:`clear` calls (they are
+        #: not "dropped" — the operator asked for them to go)
+        self._cleared = 0
+        # Sequence floor after a clear, so lifetime totals stay exact
+        # even when the ring is empty.
+        self._floor = 0
+
+    # -- correlation ----------------------------------------------------
+
+    def new_measurement_id(self) -> str:
+        """A fresh process-unique measurement id (``m-000001``, ...)."""
+        return f"m-{next(self._mids):06d}"
+
+    def set_current(self, mid: Optional[str]) -> Optional[str]:
+        """Install *mid* as this thread's current measurement id.
+
+        Returns the previous id so callers can restore it (the engine
+        brackets each ``measure()`` with set/restore), keeping nested
+        or re-entrant uses safe.
+        """
+        previous = getattr(self._local, "mid", None)
+        self._local.mid = mid
+        return previous
+
+    @property
+    def current_measurement(self) -> Optional[str]:
+        return getattr(self._local, "mid", None)
+
+    # -- the hot path ---------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        /,
+        _mid: Optional[str] = None,
+        **fields: Any,
+    ) -> None:
+        """Record one event; ``**fields`` become its payload.
+
+        The event kind is positional-only so a payload field may also
+        be named ``kind`` (the cache and prober use it as a label).
+        ``_mid`` overrides the thread-local current measurement id
+        (used by the scheduler, whose events straddle measurements).
+        """
+        clock = self.clock
+        seq = next(self._seq)
+        self._slots[seq % self.capacity] = (
+            seq,
+            _time(),
+            clock.now() if clock is not None else None,
+            _mid if _mid is not None else getattr(self._local, "mid", None),
+            kind,
+            fields or None,
+        )
+
+    # -- accounting -----------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Events emitted over the log's lifetime (incl. overwritten).
+
+        Derived from the highest retained sequence number rather than
+        by peeking at the counter, so reading it never races with the
+        lock-free emit path.
+        """
+        records = self._snapshot()
+        return (records[-1][0] + 1) if records else self._floor
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring wraparound (explicit clears excluded)."""
+        records = self._snapshot()
+        total = (records[-1][0] + 1) if records else self._floor
+        return max(0, total - self._cleared - len(records))
+
+    def __len__(self) -> int:
+        return len(self._snapshot())
+
+    # -- reads ----------------------------------------------------------
+
+    def _snapshot(self) -> List[Any]:
+        with self._lock:
+            slots = list(self._slots)
+        records = [slot for slot in slots if slot is not None]
+        records.sort(key=lambda record: record[0])
+        return records
+
+    def events(
+        self,
+        mid: Optional[str] = None,
+        kind: Optional[str] = None,
+        since_seq: int = -1,
+    ) -> List[Event]:
+        """Retained events oldest-first, optionally filtered.
+
+        *mid* selects one measurement's events, *kind* one event kind,
+        and *since_seq* skips events at or below a sequence number
+        (for incremental drains).
+        """
+        out: List[Event] = []
+        for record in self._snapshot():
+            if record[0] <= since_seq:
+                continue
+            if mid is not None and record[3] != mid:
+                continue
+            if kind is not None and record[4] != kind:
+                continue
+            out.append(Event(*record))
+        return out
+
+    def tail(self, n: int = 20) -> List[Event]:
+        """The most recent *n* events, oldest-first."""
+        records = self._snapshot()
+        return [Event(*record) for record in records[-n:]]
+
+    def measurement_ids(self) -> List[str]:
+        """Distinct measurement ids retained in the ring, in order of
+        first appearance."""
+        seen: Dict[str, None] = {}
+        for record in self._snapshot():
+            if record[3] is not None and record[3] not in seen:
+                seen[record[3]] = None
+        return list(seen)
+
+    def by_kind(self) -> Dict[str, int]:
+        """Retained event counts per kind (for snapshots/stats)."""
+        counts: Dict[str, int] = {}
+        for record in self._snapshot():
+            counts[record[4]] = counts.get(record[4], 0) + 1
+        return counts
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-able operator view for ``introspect``/service snapshots."""
+        return {
+            "schema_version": EVENT_SCHEMA_VERSION,
+            "capacity": self.capacity,
+            "recorded": len(self),
+            "total": self.total,
+            "dropped": self.dropped,
+            "by_kind": dict(sorted(self.by_kind().items())),
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            retained = [s for s in self._slots if s is not None]
+            if retained:
+                self._floor = max(s[0] for s in retained) + 1
+            self._cleared += len(retained)
+            self._slots = [None] * self.capacity

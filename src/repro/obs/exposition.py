@@ -19,6 +19,12 @@ def _escape_label_value(value: str) -> str:
     )
 
 
+def _escape_help(text: str) -> str:
+    # Per the text-format spec, HELP lines escape only backslash and
+    # newline (quotes stay raw — unlike label values).
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
@@ -47,7 +53,9 @@ def render_text(snapshot: Dict[str, Dict[str, Any]]) -> str:
     for name in sorted(snapshot):
         family = snapshot[name]
         if family.get("help"):
-            lines.append(f"# HELP {name} {family['help']}")
+            lines.append(
+                f"# HELP {name} {_escape_help(family['help'])}"
+            )
         lines.append(f"# TYPE {name} {family['type']}")
         for series in family["series"]:
             labels = series.get("labels", {})

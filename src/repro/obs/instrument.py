@@ -6,6 +6,9 @@ Instrumented code holds an ``obs`` attribute and calls a tiny surface:
 * ``obs.inc(name, n=1, **labels)`` — bump a counter;
 * ``obs.observe(name, value, **labels)`` — record a histogram sample;
 * ``obs.set_gauge(name, value, **labels)`` — set a gauge;
+* ``obs.emit(kind, **fields)`` — record a flight-recorder event
+  (:mod:`repro.obs.events`); ``_mid=`` overrides the thread-local
+  measurement id;
 * ``obs.enabled`` — cheap guard for computations only worth doing when
   somebody is watching.
 
@@ -20,6 +23,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.events import (
+    DEFAULT_CAPACITY as DEFAULT_EVENT_CAPACITY,
+    EventLog,
+)
 from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
 from repro.obs.tracing import Tracer
 
@@ -173,6 +180,22 @@ DECLARED_METRICS: Dict[str, Tuple[str, str, Optional[Sequence[float]]]] = {
         "(remeasured/skipped/replaced/pruned/dropped).",
         None,
     ),
+    "service_queue_wait_seconds": (
+        "histogram",
+        "Sim-clock time jobs spent queued before execution, "
+        "by admission attempt.",
+        DEFAULT_TIME_BUCKETS,
+    ),
+    "obs_traces_dropped_total": (
+        "counter",
+        "Finished traces evicted from the tracer's bounded ring.",
+        None,
+    ),
+    "obs_events_dropped_total": (
+        "counter",
+        "Events overwritten in the flight recorder's bounded ring.",
+        None,
+    ),
 }
 
 
@@ -201,6 +224,7 @@ class NullInstrumentation:
     enabled = False
     registry: Optional[MetricsRegistry] = None
     tracer: Optional[Tracer] = None
+    events = None
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
@@ -212,6 +236,11 @@ class NullInstrumentation:
         pass
 
     def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def emit(
+        self, kind: str, /, _mid: Any = None, **fields: Any
+    ) -> None:
         pass
 
 
@@ -259,9 +288,20 @@ class Instrumentation:
         clock=None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        events: Optional[EventLog] = None,
+        event_capacity: Optional[int] = DEFAULT_EVENT_CAPACITY,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(clock=clock)
+        # ``event_capacity=0``/``None`` runs metrics + tracing without
+        # the flight recorder (used by the overhead benchmark to price
+        # event emission separately).
+        if events is not None:
+            self.events: Optional[EventLog] = events
+        elif event_capacity:
+            self.events = EventLog(capacity=event_capacity, clock=clock)
+        else:
+            self.events = None
         # Hot-path cache: (name, *label items) -> child series.  Call
         # sites pass labels as keyword literals, so per-site ordering
         # is stable and no sorting is needed on the fast path (the
@@ -287,8 +327,11 @@ class Instrumentation:
         self.registry.register_collector(self._collect)
         # Spans are the hottest facade call (~10 per measurement);
         # binding the tracer's method directly skips one Python frame
-        # per span.
+        # per span.  Same trick for emits — the second-hottest call.
         self.span = self.tracer.span
+        if self.events is not None:
+            self.emit = self.events.emit
+        self.register_collect_source(self._obs_self_collect)
 
     # -- pull-style collection ------------------------------------------
 
@@ -314,6 +357,20 @@ class Instrumentation:
         """
         if source not in self._gauge_sources:
             self._gauge_sources.append(source)
+
+    def _obs_self_collect(self) -> Dict[Any, float]:
+        """Mirror the obs layer's own drop tallies into counters."""
+        out: Dict[Any, float] = {}
+        dropped_traces = getattr(self.tracer, "dropped", 0)
+        if dropped_traces:
+            out[("obs_traces_dropped_total", ())] = float(dropped_traces)
+        if self.events is not None:
+            dropped_events = self.events.dropped
+            if dropped_events:
+                out[("obs_events_dropped_total", ())] = float(
+                    dropped_events
+                )
+        return out
 
     def _collect(self) -> None:
         totals: Dict[Any, float] = {}
@@ -365,3 +422,15 @@ class Instrumentation:
             child = self.registry.gauge(name).labels(**labels)
             self._series[key] = child
         child.set(value)
+
+    # -- events ---------------------------------------------------------
+
+    def emit(
+        self, kind: str, /, _mid: Any = None, **fields: Any
+    ) -> None:
+        # Shadowed by the bound ``events.emit`` in ``__init__`` on the
+        # hot path (when the event log exists); kept so the facade
+        # surface stays self-documenting, and a no-op when the flight
+        # recorder is disabled.
+        if self.events is not None:
+            self.events.emit(kind, _mid=_mid, **fields)

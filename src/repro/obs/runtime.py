@@ -89,6 +89,9 @@ def introspect(
         out["traces_recorded"] = len(obs.tracer.traces)
         if include_traces:
             out["traces"] = obs.tracer.export_json()
+    events = getattr(obs, "events", None)
+    if events is not None:
+        out["events"] = events.summary()
     if probe_counters:
         out["probe_counters"] = {
             name: counter.snapshot()

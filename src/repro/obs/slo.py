@@ -1,0 +1,235 @@
+"""Event- and histogram-derived SLO summaries for ``repro stats``.
+
+Works off the JSON snapshot shape of
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` (live or loaded
+back from disk).  Quantiles are estimated from cumulative histogram
+buckets with linear interpolation inside the winning bucket — the same
+estimator as PromQL's ``histogram_quantile`` — so the numbers here
+match what a dashboard over the exposition endpoint would show.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Quantiles reported by default.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+#: Histograms summarised as latency SLOs, with display labels.
+LATENCY_HISTOGRAMS: Tuple[Tuple[str, str], ...] = (
+    ("revtr_measure_duration_seconds", "measure (engine)"),
+    ("service_request_duration_seconds", "request (end-to-end)"),
+    ("service_queue_wait_seconds", "queue wait (scheduler)"),
+)
+
+#: step-kind -> (technique label, hop-technique label in
+#: ``revtr_hops_total``); how attempts map to adopted hops.
+_TECHNIQUE_MAP: Tuple[Tuple[str, str, str], ...] = (
+    ("rr_direct", "record-route", "rr"),
+    ("rr_spoofed", "spoofed record-route", "spoofed-rr"),
+    ("ts", "timestamp", "ts"),
+    ("symmetry", "assume-symmetry", "assumed"),
+)
+
+
+def _edge(le: Any) -> float:
+    return float("inf") if le == "+Inf" else float(le)
+
+
+def merged_buckets(
+    family: Dict[str, Any]
+) -> List[Tuple[float, float]]:
+    """Sum cumulative buckets across a family's label children.
+
+    All children of one family share a bucket grid, so summing the
+    cumulative counts per edge yields the family-wide distribution.
+    """
+    totals: Dict[float, float] = {}
+    for series in family.get("series", []):
+        for le, cumulative in series.get("buckets", []):
+            edge = _edge(le)
+            totals[edge] = totals.get(edge, 0.0) + cumulative
+    return sorted(totals.items())
+
+
+def histogram_quantile(
+    buckets: Sequence[Tuple[float, float]], q: float
+) -> Optional[float]:
+    """``histogram_quantile``-style estimate from cumulative buckets.
+
+    Returns None for an empty histogram.  Quantiles landing in the
+    +Inf bucket report the highest finite edge (the estimator cannot
+    see past it).
+    """
+    if not buckets:
+        return None
+    total = buckets[-1][1]
+    if total <= 0:
+        return None
+    rank = q * total
+    previous_edge = 0.0
+    previous_cumulative = 0.0
+    for edge, cumulative in buckets:
+        if cumulative >= rank:
+            if edge == float("inf"):
+                return previous_edge
+            in_bucket = cumulative - previous_cumulative
+            if in_bucket <= 0:
+                return edge
+            fraction = (rank - previous_cumulative) / in_bucket
+            return previous_edge + fraction * (edge - previous_edge)
+        previous_edge = edge
+        previous_cumulative = cumulative
+    return previous_edge
+
+
+def _family_counts(
+    snapshot: Dict[str, Any], name: str, label: str
+) -> Dict[str, float]:
+    """``{label_value: total}`` for one counter family."""
+    out: Dict[str, float] = {}
+    family = snapshot.get(name)
+    if not family:
+        return out
+    for series in family.get("series", []):
+        value = series.get("labels", {}).get(label)
+        if value is not None:
+            out[value] = out.get(value, 0.0) + series.get("value", 0.0)
+    return out
+
+
+def slo_summary(
+    snapshot: Dict[str, Any],
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+) -> Dict[str, Any]:
+    """Compute the SLO rollup from a metrics snapshot."""
+    out: Dict[str, Any] = {}
+
+    statuses = _family_counts(
+        snapshot, "revtr_measurements_total", "status"
+    )
+    total = sum(statuses.values())
+    out["measurements"] = {
+        "total": total,
+        "by_status": {k: v for k, v in sorted(statuses.items())},
+        "completion_rate": (
+            statuses.get("complete", 0.0) / total if total else None
+        ),
+    }
+
+    steps = _family_counts(snapshot, "revtr_steps_total", "kind")
+    hops = _family_counts(snapshot, "revtr_hops_total", "technique")
+    techniques: Dict[str, Any] = {}
+    intersect_attempts = steps.get("intersect_hit", 0.0) + steps.get(
+        "intersect_miss", 0.0
+    )
+    if intersect_attempts:
+        techniques["atlas intersection"] = {
+            "attempts": intersect_attempts,
+            "successes": steps.get("intersect_hit", 0.0),
+            "success_rate": (
+                steps.get("intersect_hit", 0.0) / intersect_attempts
+            ),
+            "hops": hops.get("intersection", 0.0),
+        }
+    for step_kind, label, hop_technique in _TECHNIQUE_MAP:
+        attempts = steps.get(step_kind, 0.0)
+        if not attempts:
+            continue
+        adopted = hops.get(hop_technique, 0.0)
+        techniques[label] = {
+            "attempts": attempts,
+            "hops": adopted,
+            # "success" = the attempt contributed adopted hops; with
+            # only counters available this is hops-per-attempt capped
+            # at 1 for the rate view.
+            "success_rate": min(1.0, adopted / attempts),
+        }
+    out["techniques"] = techniques
+
+    latencies: Dict[str, Any] = {}
+    for name, label in LATENCY_HISTOGRAMS:
+        family = snapshot.get(name)
+        if not family or family.get("type") != "histogram":
+            continue
+        buckets = merged_buckets(family)
+        count = buckets[-1][1] if buckets else 0
+        if not count:
+            continue
+        total_sum = sum(
+            series.get("sum", 0.0)
+            for series in family.get("series", [])
+        )
+        entry: Dict[str, Any] = {
+            "metric": name,
+            "count": count,
+            "mean": total_sum / count,
+        }
+        for q in quantiles:
+            entry[f"p{int(q * 100)}"] = histogram_quantile(buckets, q)
+        latencies[label] = entry
+    out["latency"] = latencies
+
+    rejections = _family_counts(
+        snapshot, "service_rejections_total", "reason"
+    )
+    if rejections:
+        out["rejections"] = {
+            k: v for k, v in sorted(rejections.items())
+        }
+    return out
+
+
+def format_slo(summary: Dict[str, Any]) -> str:
+    """Human-readable SLO block for ``repro stats --slo``."""
+    lines: List[str] = ["== SLO summary =="]
+    measurements = summary.get("measurements", {})
+    total = measurements.get("total", 0)
+    lines.append(f"measurements: {int(total)}")
+    rate = measurements.get("completion_rate")
+    if rate is not None:
+        by_status = ", ".join(
+            f"{status}={int(n)}"
+            for status, n in measurements.get("by_status", {}).items()
+        )
+        lines.append(
+            f"  completion rate: {rate:.1%}  ({by_status})"
+        )
+    techniques = summary.get("techniques", {})
+    if techniques:
+        lines.append("per-technique success:")
+        for label, entry in techniques.items():
+            lines.append(
+                "  {label:<22s} attempts={attempts:<6d} "
+                "success={rate:.1%}  hops={hops}".format(
+                    label=label,
+                    attempts=int(entry.get("attempts", 0)),
+                    rate=entry.get("success_rate", 0.0),
+                    hops=int(entry.get("hops", 0)),
+                )
+            )
+    latency = summary.get("latency", {})
+    if latency:
+        lines.append("latency (sim-seconds):")
+        for label, entry in latency.items():
+            quantile_text = "  ".join(
+                f"{key}={value:.3f}"
+                for key, value in entry.items()
+                if key.startswith("p") and value is not None
+            )
+            lines.append(
+                "  {label:<22s} n={count:<6d} mean={mean:.3f}  "
+                "{qs}".format(
+                    label=label,
+                    count=int(entry.get("count", 0)),
+                    mean=entry.get("mean", 0.0),
+                    qs=quantile_text,
+                )
+            )
+    rejections = summary.get("rejections")
+    if rejections:
+        rejection_text = ", ".join(
+            f"{reason}={int(n)}" for reason, n in rejections.items()
+        )
+        lines.append(f"rejections: {rejection_text}")
+    return "\n".join(lines)

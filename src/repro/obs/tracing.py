@@ -110,7 +110,13 @@ class Span:
         else:
             # deque.append is atomic under the GIL; the lock is only
             # needed for compound read-modify operations (export/clear).
-            tracer.traces.append(self)
+            traces = tracer.traces
+            if len(traces) == traces.maxlen:
+                # The ring is full: this append evicts the oldest
+                # completed trace.  Tallied (obs_traces_dropped_total)
+                # so long-running serves can see the loss.
+                tracer.dropped += 1
+            traces.append(self)
         # Drop the tracer and stack backrefs: they form reference
         # cycles through the completed-trace ring (span -> tracer ->
         # traces -> span), and closed spans can be long-lived there —
@@ -203,6 +209,9 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self.traces: deque = deque(maxlen=max_traces)
+        #: completed traces evicted from the full ring (lifetime tally;
+        #: mirrored into ``obs_traces_dropped_total`` at collection).
+        self.dropped = 0
 
     # -- stack ----------------------------------------------------------
 

@@ -273,6 +273,15 @@ class Prober:
                 result.rtt if result.responded else LOSS_TIMEOUT
             )
             results.append(result)
+        if self.obs.enabled:
+            # Batch-level only: per-probe events would dominate the
+            # atlas pipeline's emit budget for no diagnostic gain.
+            self.obs.emit(
+                "probe.batch",
+                kind="rr",
+                probes=len(results),
+                responses=sum(1 for r in results if r.responded),
+            )
         return results
 
     def spoofed_rr_batch(
@@ -325,6 +334,14 @@ class Prober:
                 result.rtt = outcome.echo.rtt
             results.append(result)
         self.clock.advance(SPOOF_BATCH_TIMEOUT)
+        if self.obs.enabled:
+            self.obs.emit(
+                "probe.batch",
+                kind="spoofed-rr",
+                dst=str(dst),
+                probes=len(results),
+                responses=sum(1 for r in results if r.responded),
+            )
         return results
 
     def ts_ping(

@@ -144,6 +144,17 @@ class RevtrService:
         ) as span:
             result = engine.measure(dst)
             span.annotate(status=result.status.value)
+        if self.obs.enabled:
+            # Service-level ledger entry, correlated to the engine's
+            # measurement id so `repro explain` sees who asked.
+            self.obs.emit(
+                "service.request",
+                _mid=result.measurement_id,
+                user=user_name,
+                src=str(engine.source),
+                dst=str(dst),
+                status=result.status.value,
+            )
         self.obs.inc(
             "service_requests_total",
             user=user_name,

@@ -212,6 +212,13 @@ class RequestScheduler:
                 self._inflight_finish[user.name] = []
                 self._live_inflight[user.name] = 0
                 self.peak_inflight[user.name] = 0
+            if self.obs.enabled:
+                self.obs.emit(
+                    "sched.submit",
+                    job=job.id,
+                    user=user.name,
+                    dst=str(dst),
+                )
             if user.max_parallel < 1:
                 self._reject(job, RejectReason.QUOTA)
                 return job
@@ -243,6 +250,34 @@ class RequestScheduler:
             self.rejections.get(reason.value, 0) + 1
         )
         self.obs.inc("service_rejections_total", reason=reason.value)
+        if self.obs.enabled:
+            self.obs.emit(
+                "sched.reject",
+                job=job.id,
+                user=job.user,
+                reason=reason.value,
+            )
+
+    def _note_started(self, job: Job) -> None:
+        """Queue-wait accounting at the instant a job starts running."""
+        if not self.obs.enabled:
+            return
+        wait = job.queue_wait
+        if wait is not None:
+            # Labelled by admission attempt so retry backoff shows up
+            # as a separate (longer-wait) series.
+            self.obs.observe(
+                "service_queue_wait_seconds",
+                wait,
+                attempt=str(job.attempts),
+            )
+        self.obs.emit(
+            "sched.start",
+            job=job.id,
+            user=job.user,
+            attempt=job.attempts,
+            queue_wait=wait,
+        )
 
     def _queue_depth_changed(self) -> None:
         depth = sum(len(q) for q in self._queues.values())
@@ -368,6 +403,7 @@ class RequestScheduler:
     ) -> Job:
         cfg = self.config
         job.started_at = t
+        self._note_started(job)
         if (
             cfg.deadline is not None
             and t - job.submitted_at > cfg.deadline
@@ -413,11 +449,29 @@ class RequestScheduler:
             job.state = JobState.QUEUED
             self._queues[user.name].append(job)
             self.retries += 1
-            self.obs.inc("service_retries_total")
+            self.obs.inc(
+                "service_retries_total", attempt=str(job.attempts)
+            )
+            if self.obs.enabled:
+                self.obs.emit(
+                    "sched.retry",
+                    job=job.id,
+                    user=user.name,
+                    attempt=job.attempts,
+                    eligible_at=job.eligible_at,
+                )
             self._queue_depth_changed()
             return job
         job.state = JobState.DONE
         self.completed += 1
+        if self.obs.enabled:
+            self.obs.emit(
+                "sched.done",
+                _mid=result.measurement_id,
+                job=job.id,
+                user=user.name,
+                status=result.status.value,
+            )
         if (
             cfg.deadline is not None
             and finish - job.submitted_at > cfg.deadline
@@ -538,6 +592,7 @@ class RequestScheduler:
         cfg = self.config
         now = self.clock.now()
         job.started_at = now
+        self._note_started(job)
         if (
             cfg.deadline is not None
             and now - job.submitted_at > cfg.deadline
@@ -581,11 +636,29 @@ class RequestScheduler:
             with self._cond:
                 self.retries += 1
                 self._queues[user.name].append(job)
-                self.obs.inc("service_retries_total")
+                self.obs.inc(
+                    "service_retries_total", attempt=str(job.attempts)
+                )
+                if self.obs.enabled:
+                    self.obs.emit(
+                        "sched.retry",
+                        job=job.id,
+                        user=user.name,
+                        attempt=job.attempts,
+                        eligible_at=job.eligible_at,
+                    )
                 self._queue_depth_changed()
                 self._cond.notify_all()
             return
         job.state = JobState.DONE
+        if self.obs.enabled:
+            self.obs.emit(
+                "sched.done",
+                _mid=result.measurement_id,
+                job=job.id,
+                user=user.name,
+                status=result.status.value,
+            )
         with self._cond:
             self.completed += 1
             if (

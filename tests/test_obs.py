@@ -1,6 +1,7 @@
 """Tests for the observability layer (repro.obs)."""
 
 import json
+import re
 import threading
 
 import pytest
@@ -121,6 +122,104 @@ class TestRegistry:
         )
         assert direct == via_json
 
+    def test_exposition_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "weird_total", 'Backslash \\ and\nnewline "quoted".'
+        ).labels(path='C:\\tmp\n"x"').inc()
+        text = registry.render_prometheus()
+        # HELP escapes backslash and newline but NOT double quotes
+        # (per the Prometheus text-format spec).
+        assert (
+            "# HELP weird_total "
+            'Backslash \\\\ and\\nnewline "quoted".'
+        ) in text
+        # Label values escape backslash, newline, and double quotes.
+        assert (
+            'weird_total{path="C:\\\\tmp\\n\\"x\\""} 1'
+        ) in text
+        # The rendered text stays one-directive-per-line: the raw
+        # newline never leaks into the output.
+        for line in text.splitlines():
+            assert line == line.strip("\r")
+
+    def test_exposition_reparses(self):
+        """Render -> reparse with a tiny text-format parser.
+
+        Guards the exposition against the classic breakages: missing
+        +Inf bucket, _sum/_count drift, and escape sequences that do
+        not survive a round trip.
+        """
+        registry = MetricsRegistry()
+        registry.counter("steps_total", "Steps.").labels(
+            kind="rr", vp='v"1"'
+        ).inc(3)
+        registry.gauge("inflight", "In flight.").labels().set(2)
+        hist = registry.histogram(
+            "lat_seconds", "Latency.", buckets=(0.1, 1.0)
+        ).labels(op="measure")
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = registry.render_prometheus()
+
+        def unescape(raw):
+            out, i = [], 0
+            while i < len(raw):
+                if raw[i] == "\\" and i + 1 < len(raw):
+                    out.append(
+                        {"\\": "\\", "n": "\n", '"': '"'}[raw[i + 1]]
+                    )
+                    i += 2
+                else:
+                    out.append(raw[i])
+                    i += 1
+            return "".join(out)
+
+        types, series = {}, {}
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ", 3)
+                types[name] = kind
+                continue
+            if line.startswith("#") or not line.strip():
+                continue
+            body, value = line.rsplit(" ", 1)
+            if "{" in body:
+                name, raw = body.split("{", 1)
+                raw = raw.rstrip("}")
+                labels = {}
+                for pair in re.findall(
+                    r'(\w+)="((?:\\.|[^"\\])*)"', raw
+                ):
+                    labels[pair[0]] = unescape(pair[1])
+            else:
+                name, labels = body, {}
+            series[(name, tuple(sorted(labels.items())))] = float(
+                value
+            )
+
+        assert types == {
+            "steps_total": "counter",
+            "inflight": "gauge",
+            "lat_seconds": "histogram",
+        }
+        assert series[
+            ("steps_total", (("kind", "rr"), ("vp", 'v"1"')))
+        ] == 3.0
+        assert series[("inflight", ())] == 2.0
+        buckets = {
+            dict(labels)["le"]: value
+            for (name, labels), value in series.items()
+            if name == "lat_seconds_bucket"
+        }
+        assert buckets == {"0.1": 1.0, "1": 2.0, "+Inf": 3.0}
+        assert series[
+            ("lat_seconds_count", (("op", "measure"),))
+        ] == 3.0
+        assert series[
+            ("lat_seconds_sum", (("op", "measure"),))
+        ] == pytest.approx(5.55)
+
 
 class FakeClock:
     def __init__(self):
@@ -183,6 +282,22 @@ class TestTracer:
                 pass
         assert len(tracer.traces) == 4
         assert tracer.last_trace.name == "t9"
+        # The six evicted traces are tallied, not silently lost.
+        assert tracer.dropped == 6
+
+    def test_dropped_traces_surface_as_a_counter(self):
+        instr = Instrumentation(
+            tracer=Tracer(max_traces=2), event_capacity=0
+        )
+        for i in range(5):
+            with instr.span(f"t{i}"):
+                pass
+        snapshot = instr.registry.snapshot()
+        family = snapshot["obs_traces_dropped_total"]
+        assert family["series"][0]["value"] == 3
+        assert "obs_traces_dropped_total 3" in (
+            instr.registry.render_prometheus()
+        )
 
 
 class TestNullInstrumentation:
