@@ -1,0 +1,396 @@
+"""Benchmark: graceful degradation under injected faults.
+
+Drives identically seeded measurement workloads through the chaos
+harness (``repro.sim.faults``) at increasing severities along two axes:
+
+* **loss sweep** — uniform link loss at increasing drop rates;
+* **outage sweep** — growing fractions of the spoofing VP fleet down
+  for the whole run (quarantine + replacement territory).
+
+Per cell it reports a *completeness score* in [0, 1] — full credit for
+a complete reverse traceroute, partial credit for a degraded result
+that still revealed reverse hops — plus the recovery machinery's
+activity (engine retries, VP quarantines/replacements, partial
+results).  All numbers are virtual-clock deterministic, so
+``benchmarks/reports/BENCH_resilience.json`` is byte-identical across
+runs on any machine.
+
+Checks (exit 1 on failure):
+
+* **byte identity** — a workload with an *empty* fault plan installed
+  produces bit-identical measurement outputs, probe counts, clock
+  reading, and atlas contents to one with no injector at all;
+* **graceful, no cliff** — the completeness score never *increases*
+  with severity (beyond a small tolerance), and no severity goes
+  totally dark: every cell still lands at least one complete or
+  partial result;
+* **recovery exercised** — every nonzero-severity loss cell spends at
+  least one engine retry; every nonzero-severity outage cell
+  quarantines and replaces at least one vantage point.
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/report_resilience.py
+    PYTHONPATH=src python benchmarks/report_resilience.py \
+        --scale tiny --requests 4      # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.core.revtr import EngineConfig  # noqa: E402
+from repro.experiments import Scenario  # noqa: E402
+from repro.sim.faults import FaultPlan, FaultSpec  # noqa: E402
+from repro.topology import TopologyConfig  # noqa: E402
+
+SEED = 7
+
+SCALES = {
+    "tiny": TopologyConfig.tiny,
+    "small": TopologyConfig.small,
+}
+
+#: uniform per-link loss applies to every traversal of forward AND
+#: reply paths, so even moderate rates compound brutally; 0.3 is
+#: already ~an order of magnitude past measured interdomain loss
+LOSS_RATES = (0.0, 0.1, 0.2, 0.3)
+OUTAGE_FRACTIONS = (0.0, 1 / 3, 2 / 3)
+
+#: extra technique attempts per measurement under faults
+RETRY_BUDGET = 8
+#: consecutive non-responses before a VP is quarantined
+QUARANTINE_THRESHOLD = 2
+QUARANTINE_SECONDS = 300.0
+
+#: score may not rise with severity by more than this (sampling noise)
+MONOTONE_TOLERANCE = 0.1
+
+
+def completeness_score(result) -> float:
+    """1.0 for a complete path; partial credit for revealed hops.
+
+    A degraded measurement that still uncovered reverse hops scores up
+    to 0.5 (saturating at four revealed hops), so the sweep measures
+    *how much* the system kept delivering, not just the binary
+    complete/failed split a cliff would hide behind.
+    """
+    if result.status.value == "complete":
+        return 1.0
+    revealed = max(0, len(result.hops) - 1)
+    return 0.5 * min(1.0, revealed / 4.0)
+
+
+def build_workload(scale: str, requests: int, destinations=None):
+    """A fresh scenario + engine + destinations, built fault-free."""
+    scenario = Scenario(
+        config=SCALES[scale](seed=SEED), seed=SEED, atlas_size=20
+    )
+    source = scenario.sources()[0]
+    engine = scenario.engine(
+        source,
+        "revtr2.0",
+        config=EngineConfig(
+            retry_budget=RETRY_BUDGET,
+            ping_retries=4,
+            rr_retries=2,
+            recheck_unresponsive=True,
+        ),
+    )
+    if destinations is None:
+        destinations = scenario.responsive_destinations(
+            requests, options_only=True
+        )
+    return scenario, engine, destinations
+
+
+def spoof_hungry_destinations(scale: str, count: int):
+    """Destinations that force the spoofed-VP machinery.
+
+    A destination whose *direct* record-route ping responds but
+    reveals no reverse hops can only be measured through spoofed
+    batches, so outage cells built from these actually push probes
+    through the (partially downed) VP fleet.  Scanned on a scratch
+    scenario — direct RR behaviour is a pure function of topology, so
+    the verdicts transfer to the measured workloads.
+    """
+    scenario = Scenario(
+        config=SCALES[scale](seed=SEED), seed=SEED, atlas_size=20
+    )
+    source = scenario.sources()[0]
+    hungry = []
+    for dst in scenario.responsive_destinations(options_only=True):
+        rr = scenario.online_prober.rr_ping(source, dst)
+        if rr.responded and not rr.reverse_hops():
+            hungry.append(dst)
+            if len(hungry) >= count:
+                break
+    return hungry
+
+
+def run_cell(scale: str, requests: int, plan, destinations=None):
+    """One sweep cell: measure the workload under *plan* (None = no
+    injector at all)."""
+    scenario, engine, destinations = build_workload(
+        scale, requests, destinations=destinations
+    )
+    tracker = scenario.install_vp_health(
+        threshold=QUARANTINE_THRESHOLD,
+        quarantine_seconds=QUARANTINE_SECONDS,
+    )
+    injector = None
+    if plan is not None:
+        injector = scenario.install_faults(plan)
+    results = [engine.measure(dst) for dst in destinations]
+    scores = [completeness_score(r) for r in results]
+    return {
+        "results": results,
+        "score": sum(scores) / len(scores) if scores else 0.0,
+        "complete": sum(
+            1 for r in results if r.status.value == "complete"
+        ),
+        "partial": sum(1 for r in results if r.is_partial),
+        "statuses": _status_counts(results),
+        "engine_retries": dict(sorted(engine.retry_counts.items())),
+        "faults": injector.snapshot() if injector is not None else None,
+        "vp_health": tracker.snapshot(),
+        "clock": scenario.clock.now(),
+        "probes": {
+            kind.value: count
+            for kind, count in sorted(
+                scenario.online_counter.counts.items(),
+                key=lambda item: item[0].value,
+            )
+        },
+        "atlas_digest": _atlas_digest(scenario, engine),
+    }
+
+
+def _status_counts(results):
+    counts = {}
+    for result in results:
+        key = result.status.value
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def _atlas_digest(scenario, engine):
+    """Cheap structural fingerprint of the source's atlas state."""
+    return {
+        "traceroutes": len(engine.atlas.traceroutes),
+        "hops": len(list(engine.atlas.all_hops())),
+    }
+
+
+def cell_doc(cell, severity_key, severity):
+    doc = {
+        severity_key: round(severity, 6),
+        "completeness_score": round(cell["score"], 6),
+        "complete": cell["complete"],
+        "partial": cell["partial"],
+        "statuses": cell["statuses"],
+        "engine_retries": cell["engine_retries"],
+        "vp_health": cell["vp_health"],
+    }
+    if cell["faults"] is not None:
+        doc["faults"] = cell["faults"]
+    return doc
+
+
+def loss_plan(rate: float) -> FaultPlan:
+    plan = FaultPlan(seed=SEED)
+    if rate > 0:
+        plan.add(
+            FaultSpec(
+                kind="link-loss", rate=rate, label=f"loss-{rate:g}"
+            )
+        )
+    return plan
+
+
+def outage_plan(fraction: float, spoofers, source) -> FaultPlan:
+    """Take down *fraction* of the spoofer fleet, never the source.
+
+    The workload's source is itself a spoof-capable M-Lab host; an
+    outage that includes it would kill every direct probe at the
+    injection point and measure source death, not VP churn.
+    """
+    plan = FaultPlan(seed=SEED)
+    fleet = sorted(vp for vp in spoofers if vp != source)
+    count = int(len(fleet) * fraction)
+    if count:
+        plan.add(
+            FaultSpec(
+                kind="vp-outage",
+                vps=tuple(fleet[:count]),
+                label=f"outage-{fraction:g}",
+            )
+        )
+    return plan
+
+
+def check_byte_identity(scale: str, requests: int):
+    """Empty plan installed vs. no injector: bit-identical outputs."""
+
+    def fingerprint(cell):
+        return json.dumps(
+            {
+                "results": [r.to_dict() for r in cell["results"]],
+                "clock": cell["clock"],
+                "probes": cell["probes"],
+                "atlas": cell["atlas_digest"],
+            },
+            sort_keys=True,
+        )
+
+    bare = run_cell(scale, requests, plan=None)
+    empty = run_cell(scale, requests, plan=FaultPlan(seed=SEED))
+    return fingerprint(bare) == fingerprint(empty)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="small"
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=8,
+        help="measurements per sweep cell",
+    )
+    args = parser.parse_args(argv)
+
+    print("resilience benchmark")
+    print(
+        f"  {args.requests} measurements per cell, {args.scale} "
+        f"topology, retry budget {RETRY_BUDGET}"
+    )
+    failures = []
+
+    identical = check_byte_identity(args.scale, args.requests)
+    print(
+        f"  byte identity (empty plan vs no injector): "
+        f"{'ok' if identical else 'VIOLATED'}"
+    )
+    if not identical:
+        failures.append(
+            "empty fault plan changed measurement outputs"
+        )
+
+    def run_sweep(
+        name, severity_key, severities, plan_for, destinations=None
+    ):
+        print(f"  {name} sweep:")
+        previous = None
+        for severity in severities:
+            cell = run_cell(
+                args.scale,
+                args.requests,
+                plan_for(severity),
+                destinations=destinations,
+            )
+            doc = cell_doc(cell, severity_key, severity)
+            retries = sum(cell["engine_retries"].values())
+            print(
+                f"    {severity_key} {severity:5.2f}: score "
+                f"{cell['score']:.3f}, {cell['complete']} complete / "
+                f"{cell['partial']} partial, {retries} retries, "
+                f"{cell['vp_health']['quarantines']} quarantines"
+            )
+            if previous is not None:
+                if cell["score"] > previous + MONOTONE_TOLERANCE:
+                    failures.append(
+                        f"{name} sweep not monotone at "
+                        f"{severity_key}={severity:g}: score rose "
+                        f"{previous:.3f} -> {cell['score']:.3f}"
+                    )
+                if not (cell["complete"] + cell["partial"]):
+                    failures.append(
+                        f"{name} sweep blacked out at "
+                        f"{severity_key}={severity:g}: no complete "
+                        "or partial results survived"
+                    )
+            previous = cell["score"]
+            yield severity, cell, doc
+        return
+
+    # Loss sweep: every lossy cell must spend at least one retry.
+    loss_sweep = []
+    for rate, cell, doc in run_sweep(
+        "loss", "loss_rate", LOSS_RATES, loss_plan
+    ):
+        loss_sweep.append(doc)
+        if rate > 0 and not sum(cell["engine_retries"].values()):
+            failures.append(
+                f"loss sweep at rate {rate:g} exercised no engine "
+                "retries"
+            )
+
+    # Outage sweep: every outage cell must quarantine and replace.
+    # Runs against spoof-hungry destinations so the (partially downed)
+    # VP fleet is actually on the probing path.
+    probe_scenario = Scenario(
+        config=SCALES[args.scale](seed=SEED), seed=SEED, atlas_size=20
+    )
+    spoofers = probe_scenario.spoofer_addrs
+    workload_source = probe_scenario.sources()[0]
+    hungry = spoof_hungry_destinations(args.scale, args.requests)
+    print(
+        f"  outage workload: {len(hungry)} spoof-hungry destinations"
+    )
+    outage_sweep = []
+    for fraction, cell, doc in run_sweep(
+        "outage",
+        "outage_fraction",
+        OUTAGE_FRACTIONS,
+        lambda f: outage_plan(f, spoofers, workload_source),
+        destinations=hungry,
+    ):
+        outage_sweep.append(doc)
+        if fraction > 0:
+            health = cell["vp_health"]
+            if not health["quarantines"]:
+                failures.append(
+                    f"outage sweep at fraction {fraction:g} "
+                    "quarantined no vantage points"
+                )
+            if not health["replacements"]:
+                failures.append(
+                    f"outage sweep at fraction {fraction:g} replaced "
+                    "no vantage points"
+                )
+
+    payload = {
+        "benchmark": "resilience",
+        "scale": args.scale,
+        "seed": SEED,
+        "requests_per_cell": args.requests,
+        "retry_budget": RETRY_BUDGET,
+        "quarantine_threshold": QUARANTINE_THRESHOLD,
+        "byte_identity_empty_plan": identical,
+        "loss_sweep": loss_sweep,
+        "outage_sweep": outage_sweep,
+    }
+    report_dir = os.path.join(os.path.dirname(__file__), "reports")
+    os.makedirs(report_dir, exist_ok=True)
+    path = os.path.join(report_dir, "BENCH_resilience.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"  wrote {path}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,12 @@ Commands:
 * ``serve`` — demo the request scheduler: several users with
   different parallel limits submit a burst of requests which are
   multiplexed over ``--parallel`` lanes with admission control
-  (``--json`` for the machine-readable report).
+  (``--json`` for the machine-readable report);
+* ``chaos`` — run a measurement workload under deterministic fault
+  injection (packet loss, ICMP rate limiting, VP outages, spoofed
+  black-holes) and report how gracefully the system degraded
+  (``--preset`` scenarios seeded by ``--seed``; ``--plan`` replays a
+  saved JSON plan bit-for-bit).
 """
 
 from __future__ import annotations
@@ -555,6 +560,119 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.core.revtr import EngineConfig
+    from repro.service import (
+        RevtrService,
+        SchedulerConfig,
+        SourceRegistry,
+    )
+    from repro.sim.faults import FaultPlan, preset_plan
+
+    instr = Instrumentation()
+    scenario = _scenario(args, instrumentation=instr)
+    source = scenario.sources()[args.source_index]
+    if args.plan:
+        with open(args.plan) as fh:
+            plan = FaultPlan.from_json(fh.read())
+    else:
+        # The source is itself a spoof-capable host; an outage preset
+        # that downed it would kill every direct probe at injection and
+        # measure source death, not VP churn — keep it out of the
+        # fleet the presets draw from.
+        plan = preset_plan(
+            args.preset,
+            seed=args.seed,
+            vps=[vp for vp in scenario.spoofer_addrs if vp != source],
+        )
+
+    registry = SourceRegistry(
+        scenario.internet,
+        scenario.background_prober,
+        scenario.atlas_vp_addrs,
+        scenario.spoofer_addrs,
+        atlas_size=args.atlas_size,
+        seed=args.seed,
+    )
+    service = RevtrService(
+        prober=scenario.online_prober,
+        registry=registry,
+        selector=scenario.selector("revtr2.0"),
+        ip2as=scenario.ip2as,
+        relationships=scenario.relationships,
+        resolver=scenario.resolver,
+        engine_config=EngineConfig(
+            retry_budget=args.retry_budget,
+            recheck_unresponsive=True,
+        ),
+        instrumentation=instr,
+    )
+    user = service.add_user(
+        "chaos", max_parallel=4, max_per_day=args.requests * 8
+    )
+    # Bootstrap (atlas builds) runs fault-free; the injector and the
+    # quarantine tracker arm just before the measurement workload.
+    service.add_source(user.api_key, source)
+    tracker = scenario.install_vp_health(
+        quarantine_seconds=args.quarantine
+    )
+    injector = scenario.install_faults(plan)
+
+    destinations = scenario.responsive_destinations(
+        args.requests, options_only=True
+    )
+    scheduler = service.scheduler(
+        SchedulerConfig(
+            parallelism=args.parallel,
+            deadline=args.deadline,
+            max_retries=args.retries,
+        )
+    )
+    for dst in destinations:
+        scheduler.submit(user.api_key, dst, source)
+    report = scheduler.run()
+    engine = service._engine_for(source)
+
+    if args.plan_out:
+        with open(args.plan_out, "w") as fh:
+            fh.write(plan.to_json())
+            fh.write("\n")
+    doc = {
+        "preset": None if args.plan else args.preset,
+        "seed": args.seed,
+        "plan": plan.to_dict(),
+        "faults": injector.snapshot(),
+        "vp_health": tracker.snapshot(),
+        "engine_retries": dict(sorted(engine.retry_counts.items())),
+        "scheduler": report.as_dict(),
+    }
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        label = args.plan if args.plan else f"preset '{args.preset}'"
+        sched = doc["scheduler"]
+        print(
+            f"chaos {label}: {doc['faults']['total']} faults injected "
+            f"{dict(doc['faults']['by_kind'])}"
+        )
+        print(
+            f"  requests:    {sched['completed']}/{sched['submitted']} "
+            f"completed, statuses {sched['statuses']}"
+        )
+        print(
+            f"  degradation: {sched.get('partial_results', 0)} partial "
+            f"results, retries {doc['engine_retries'] or 'none'}"
+        )
+        print(
+            f"  vp health:   {doc['vp_health']['quarantines']} "
+            f"quarantined, {doc['vp_health']['replacements']} replaced, "
+            f"{doc['vp_health']['recoveries']} requalified"
+        )
+    _write_metrics(instr, args.metrics_out)
+    _write_events(instr, args.events_out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -833,6 +951,64 @@ def build_parser() -> argparse.ArgumentParser:
         "(FILE.1.gz, FILE.2.gz, ...)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection scenario with graceful degradation",
+    )
+    chaos.add_argument(
+        "--preset",
+        choices=(
+            "none", "loss", "rate-limit", "vp-flap", "blackhole",
+            "mixed",
+        ),
+        default="mixed",
+        help="named fault scenario (seeded by the global --seed)",
+    )
+    chaos.add_argument(
+        "--plan", metavar="FILE",
+        help="replay a fault plan saved as JSON instead of a preset",
+    )
+    chaos.add_argument(
+        "--plan-out", metavar="FILE",
+        help="save the effective fault plan as JSON (for replay)",
+    )
+    chaos.add_argument(
+        "--requests", type=int, default=6,
+        help="measurement requests submitted under faults",
+    )
+    chaos.add_argument(
+        "--parallel", type=int, default=2,
+        help="scheduler execution lanes",
+    )
+    chaos.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request queue-wait deadline (virtual seconds)",
+    )
+    chaos.add_argument(
+        "--retries", type=int, default=1,
+        help="scheduler retry budget for unresponsive destinations",
+    )
+    chaos.add_argument(
+        "--retry-budget", type=int, default=8,
+        help="engine-level technique retries per measurement",
+    )
+    chaos.add_argument(
+        "--quarantine", type=float, default=900.0,
+        help="VP quarantine window (virtual seconds)",
+    )
+    chaos.add_argument("--source-index", type=int, default=0)
+    chaos.add_argument("--json", action="store_true")
+    chaos.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the metrics JSON snapshot to FILE",
+    )
+    chaos.add_argument(
+        "--events-out",
+        metavar="FILE",
+        help="export the flight-recorder event log to FILE (JSONL)",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

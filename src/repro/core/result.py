@@ -98,6 +98,20 @@ class ReverseTracerouteResult:
         return bool(self.assumed_hops())
 
     @property
+    def is_partial(self) -> bool:
+        """Unfinished, but carrying real reverse hops.
+
+        Degraded measurements (injected faults, mid-measure stalls)
+        land here: more than the destination placeholder hop was
+        revealed, yet the path never reached the source.  The service
+        layer surfaces these separately from clean completions.
+        """
+        return (
+            self.status is not RevtrStatus.COMPLETE
+            and len(self.hops) > 1
+        )
+
+    @property
     def has_interdomain_assumption(self) -> bool:
         return any(h.assumed_link == "inter" for h in self.assumed_hops())
 

@@ -77,6 +77,19 @@ class EngineConfig:
     #: violations are flagged on the result rather than silently
     #: trusted.
     detect_violations: bool = False
+    #: Graceful-degradation knobs, all off by default so fault-free
+    #: runs stay byte-identical.  ``retry_budget`` is the total extra
+    #: technique attempts one measurement may spend recovering from
+    #: transient failures; ``ping_retries`` / ``rr_retries`` cap how
+    #: many of those any single liveness check / direct-RR step may
+    #: consume.
+    retry_budget: int = 0
+    ping_retries: int = 2
+    rr_retries: int = 1
+    #: When a measurement dead-ends, re-ping the destination: if it
+    #: stopped answering mid-measurement, report ``UNRESPONSIVE``
+    #: (keeping the partial path) instead of ``INCOMPLETE``.
+    recheck_unresponsive: bool = False
 
     def variant_name(self) -> str:
         """Short label for reports (Table 4 row names)."""
@@ -165,6 +178,10 @@ class RevtrEngine:
         self._t_measurements: Dict[str, int] = {}
         self._t_hops: Dict[str, int] = {}
         self._t_stale = 0
+        #: degradation retries by technique (revtr_retries_total)
+        self._t_retries: Dict[str, int] = {}
+        #: retry budget left in the measurement in flight
+        self._m_retry_left = 0
         #: (outcome, link-or-None) -> count, for revtr_fallbacks_total
         self._t_fallbacks: Dict[tuple, int] = {}
         #: intersect attempts in the measurement in flight (annotated
@@ -203,6 +220,27 @@ class RevtrEngine:
         """Technique steps taken so far, keyed by kind."""
         return dict(self._t_steps)
 
+    @property
+    def retry_counts(self) -> Dict[str, int]:
+        """Degradation retries taken so far, keyed by technique."""
+        return dict(self._t_retries)
+
+    def _retry_allowed(self, technique: str) -> bool:
+        """Spend one unit of the measurement's retry budget, if any."""
+        if self._m_retry_left <= 0:
+            return False
+        self._m_retry_left -= 1
+        self._t_retries[technique] = (
+            self._t_retries.get(technique, 0) + 1
+        )
+        if self._ev is not None:
+            self._ev.emit(
+                "degrade.retry",
+                technique=technique,
+                budget_left=self._m_retry_left,
+            )
+        return True
+
     def _obs_collect(self) -> Dict:
         out = {}
         for kind, n in self._t_steps.items():
@@ -220,6 +258,10 @@ class RevtrEngine:
             out[("atlas_stale_intersections_total", ())] = float(
                 self._t_stale
             )
+        for technique, n in self._t_retries.items():
+            out[
+                ("revtr_retries_total", (("technique", technique),))
+            ] = float(n)
         for (outcome, link), n in self._t_fallbacks.items():
             labels = (("outcome", outcome),)
             if link is not None:
@@ -356,8 +398,23 @@ class RevtrEngine:
                     )
                 return cached
 
+            faults = getattr(self.prober.internet, "faults", None)
+            mark = faults.injections if faults is not None else 0
+
             result = self.prober.rr_ping(self.source, current)
             self._step("rr_direct")
+            attempts = 0
+            while (
+                not result.responded
+                and attempts < self.config.rr_retries
+                and self._retry_allowed("rr")
+            ):
+                # A silent direct RR may just be a lost packet; the
+                # budget buys another look before the spoofed fleet
+                # (10 s of batch timeout per round) takes over.
+                attempts += 1
+                result = self.prober.rr_ping(self.source, current)
+                self._step("rr_direct")
             if result.responded and result.reverse_hops():
                 outcome = (result.reverse_hops(), HopTechnique.RR)
                 span.annotate(
@@ -379,6 +436,10 @@ class RevtrEngine:
             batches = 0
             for results in self._spoofed_batches(current):
                 batches += 1
+                if not results:
+                    # Health filtering can empty a batch entirely
+                    # (every VP quarantined, no healthy replacement).
+                    continue
                 best = max(results, key=lambda r: len(r.reverse_hops()))
                 if best.reverse_hops():
                     outcome = (
@@ -416,7 +477,16 @@ class RevtrEngine:
                     revealed=0,
                     batches=batches,
                 )
-            self.cache.put(key, outcome)
+            if faults is not None and faults.injections != mark:
+                # An injected fault fired during this step: the empty
+                # outcome may be transient, so keep it out of the
+                # day-scale negative cache (positive outcomes above
+                # are still cached — revealed hops are real however
+                # lossy the path was).
+                if ev is not None:
+                    ev.emit("degrade.nocache", hop=str(current))
+            else:
+                self.cache.put(key, outcome)
             return outcome
 
     def _spoofed_batches(self, current: Address):
@@ -462,6 +532,20 @@ class RevtrEngine:
     def _instrumented_batch(
         self, current: Address, vps, index: int = 0, mode: str = "static"
     ):
+        health = getattr(self.prober, "health", None)
+        if health is not None:
+            vps, replaced = health.filter_batch(
+                vps, self.spoofers, exclude=(self.source,)
+            )
+            if replaced and self._ev is not None:
+                self._ev.emit(
+                    "degrade.replace",
+                    hop=str(current),
+                    batch=index,
+                    replaced=replaced,
+                )
+            if not vps:
+                return []
         with self.obs.span(
             "rr.spoofed_batch", hop=str(current), vps=len(vps),
             batched=True,
@@ -639,6 +723,7 @@ class RevtrEngine:
         # accumulate a day of dead entries (rate-limited internally).
         self.cache.maybe_purge()
         self._m_intersects = 0
+        self._m_retry_left = self.config.retry_budget
         counts_before = Counter(self.prober.counter.counts)
 
         result = ReverseTracerouteResult(
@@ -650,6 +735,14 @@ class RevtrEngine:
             # its own: a single ping is not worth a tree node on the
             # measurement hot path.
             alive = self.prober.ping(self.source, dst) is not None
+            attempts = 0
+            while (
+                not alive
+                and attempts < self.config.ping_retries
+                and self._retry_allowed("ping")
+            ):
+                attempts += 1
+                alive = self.prober.ping(self.source, dst) is not None
             if self._obs_on:
                 root = self.obs.tracer.active_span
                 if root is not None:
@@ -809,6 +902,23 @@ class RevtrEngine:
             ):
                 self._fallback("dead-end", hop=current)
                 status = RevtrStatus.INCOMPLETE
+                if (
+                    self.config.recheck_unresponsive
+                    and self.config.ping_check
+                    and self.prober.ping(self.source, dst) is None
+                ):
+                    # The destination died mid-measurement: classify
+                    # as UNRESPONSIVE while keeping every hop gathered
+                    # before the stall (``result.hops`` is assigned
+                    # after the loop, so the partial path and its
+                    # probe accounting survive this break).
+                    status = RevtrStatus.UNRESPONSIVE
+                    if self._ev is not None:
+                        self._ev.emit(
+                            "degrade.unresponsive",
+                            dst=str(dst),
+                            hops_kept=len(hops),
+                        )
                 break
             if (
                 self.config.symmetry is SymmetryPolicy.INTRADOMAIN_ONLY

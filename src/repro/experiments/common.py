@@ -160,6 +160,43 @@ class Scenario:
         return hosts if count is None else hosts[:count]
 
     # ------------------------------------------------------------------
+    # Chaos harness
+    # ------------------------------------------------------------------
+
+    def install_faults(self, plan) -> "FaultInjector":
+        """Bind a :class:`~repro.sim.faults.FaultPlan` to this
+        scenario's Internet and clock; returns the live injector.
+
+        Install *after* the background infrastructure you want built
+        fault-free (atlases, surveys) — the injector affects every
+        probe walked from the moment it is installed.
+        """
+        from repro.sim.faults import FaultInjector
+
+        injector = FaultInjector(
+            plan, self.clock, instrumentation=self.obs
+        )
+        self.internet.faults = injector
+        return injector
+
+    def install_vp_health(
+        self,
+        threshold: int = 3,
+        quarantine_seconds: float = 900.0,
+    ) -> "VPHealthTracker":
+        """Attach a quarantine tracker to the online prober."""
+        from repro.probing.vantage import VPHealthTracker
+
+        tracker = VPHealthTracker(
+            self.clock,
+            threshold=threshold,
+            quarantine_seconds=quarantine_seconds,
+            instrumentation=self.obs,
+        )
+        self.online_prober.health = tracker
+        return tracker
+
+    # ------------------------------------------------------------------
     # Offline infrastructure (lazy, built with the background prober)
     # ------------------------------------------------------------------
 

@@ -20,7 +20,16 @@ import gzip
 import json
 import os
 import time
-from typing import Any, Dict, Iterator, List, Optional, Sequence, TextIO
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+)
 
 from repro.obs.events import Event, EventLog
 
@@ -179,29 +188,82 @@ def follow_jsonl(
     poll_interval: float = 0.5,
     max_seconds: Optional[float] = None,
 ) -> Iterator[Dict[str, Any]]:
-    """``tail -f`` for a JSONL event file.
+    """``tail -f`` for a JSONL event file, rotation-aware.
 
     Yields existing records, then polls for appended lines every
     *poll_interval* seconds until *max_seconds* elapses (``None``
     follows until the consumer stops iterating / interrupts).
+
+    :class:`JsonlEventWriter` rotation moves the live file aside as
+    ``<path>.1.gz`` and starts a fresh one, so a naive offset-based
+    tail would silently skip everything written between the last poll
+    and the rotation, then misread the new file from a stale offset.
+    The follower detects rotation/truncation (inode change or the file
+    shrinking below the read offset), drains the freshly rotated
+    ``.1.gz`` segment for records it has not yet yielded — records
+    carry monotone ``seq`` numbers, which de-duplicate the handoff —
+    and resumes from the top of the new live file.
     """
     deadline = (
         time.monotonic() + max_seconds if max_seconds is not None else None
     )
     position = 0
     buffer = ""
+    identity: Optional[Tuple[int, int]] = None
+    last_seq = -1
+
+    def drain_rotated() -> Iterator[Dict[str, Any]]:
+        archive = f"{path}.1.gz"
+        try:
+            docs = list(iter_jsonl(archive))
+        except OSError:
+            return
+        for doc in docs:
+            if doc.get("seq", -1) > last_seq:
+                yield doc
+
     while True:
-        if os.path.exists(path):
-            with open(path) as fh:
-                fh.seek(position)
-                chunk = fh.read()
-                position = fh.tell()
+        try:
+            stat = os.stat(path)
+        except OSError:
+            stat = None
+        if stat is None:
+            if identity is not None:
+                # The live file vanished mid-follow: rotation won the
+                # race between our stat and the writer's os.remove.
+                # Catch up from the archive and await the new file.
+                for doc in drain_rotated():
+                    last_seq = max(last_seq, doc.get("seq", -1))
+                    yield doc
+                identity = None
+                position = 0
+                buffer = ""
+        else:
+            file_id = (stat.st_ino, stat.st_dev)
+            if identity is not None and (
+                file_id != identity or stat.st_size < position
+            ):
+                for doc in drain_rotated():
+                    last_seq = max(last_seq, doc.get("seq", -1))
+                    yield doc
+                position = 0
+                buffer = ""
+            identity = file_id
+            try:
+                with open(path) as fh:
+                    fh.seek(position)
+                    chunk = fh.read()
+                    position = fh.tell()
+            except OSError:
+                chunk = ""
             buffer += chunk
             while "\n" in buffer:
                 line, buffer = buffer.split("\n", 1)
                 line = line.strip()
                 if line:
-                    yield json.loads(line)
+                    doc = json.loads(line)
+                    last_seq = max(last_seq, doc.get("seq", -1))
+                    yield doc
         if deadline is not None and time.monotonic() >= deadline:
             return
         time.sleep(poll_interval)

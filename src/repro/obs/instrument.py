@@ -95,6 +95,26 @@ DECLARED_METRICS: Dict[str, Tuple[str, str, Optional[Sequence[float]]]] = {
         "Router hops traversed across forward and reply walks.",
         None,
     ),
+    "sim_faults_injected_total": (
+        "counter",
+        "Faults injected by the chaos harness, by fault kind.",
+        None,
+    ),
+    "revtr_retries_total": (
+        "counter",
+        "Degradation retries spent by the engine, by technique.",
+        None,
+    ),
+    "vp_quarantines_total": (
+        "counter",
+        "Vantage points quarantined after consecutive non-responses.",
+        None,
+    ),
+    "service_partial_results_total": (
+        "counter",
+        "Requests finishing with a partial (degraded) reverse path.",
+        None,
+    ),
     "sim_fwd_cache_lookups_total": (
         "counter",
         "Forwarding fast-path cache lookups, by cache and hit/miss.",

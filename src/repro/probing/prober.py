@@ -126,6 +126,10 @@ class Prober:
             instrumentation if instrumentation is not None else get_default()
         )
         self._buckets: Dict[Address, TokenBucket] = {}
+        #: optional :class:`~repro.probing.vantage.VPHealthTracker`;
+        #: when installed, spoofed-batch outcomes feed its quarantine
+        #: accounting (``None`` = no liveness tracking, zero overhead)
+        self.health = None
         if self.obs.enabled:
             self._on_obs_attached(self.obs)
 
@@ -334,6 +338,9 @@ class Prober:
                 result.rtt = outcome.echo.rtt
             results.append(result)
         self.clock.advance(SPOOF_BATCH_TIMEOUT)
+        if self.health is not None:
+            for result in results:
+                self.health.record(result.vp, result.responded)
         if self.obs.enabled:
             self.obs.emit(
                 "probe.batch",

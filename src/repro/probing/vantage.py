@@ -9,14 +9,21 @@ Two populations, mirroring the paper's deployment:
   these build the traceroute atlas (Q1) and serve as the destinations
   of the §5.2 evaluation (they can run the "direct traceroute" used as
   approximate ground truth).
+
+:class:`VPHealthTracker` layers liveness bookkeeping on top: the
+deployed system constantly loses and regains vantage points, so the
+tracker quarantines a VP after a streak of consecutive non-responses
+and backfills spoofed batches from the healthy remainder, releasing the
+VP once its quarantine window expires.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.net.addr import Address
+from repro.obs.runtime import get_default
 from repro.sim.network import Internet
 
 
@@ -75,3 +82,118 @@ class VantagePointPool:
 
     def atlas_addresses(self) -> List[Address]:
         return [probe.addr for probe in self.atlas_probes]
+
+
+class VPHealthTracker:
+    """Quarantine flapping vantage points; backfill spoofed batches.
+
+    A VP that fails to answer *threshold* consecutive spoofed-batch
+    rounds is quarantined for *quarantine_seconds* of virtual time.
+    While quarantined it is filtered out of batches (and replaced from
+    the healthy candidate fleet, keeping batch sizes up); a stale
+    quarantine is released on the next membership check, counting a
+    recovery.  Optional: a prober only consults a tracker when one is
+    installed, so fault-free runs are untouched.
+    """
+
+    def __init__(
+        self,
+        clock,
+        threshold: int = 3,
+        quarantine_seconds: float = 900.0,
+        instrumentation=None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.clock = clock
+        self.threshold = threshold
+        self.quarantine_seconds = quarantine_seconds
+        self.obs = (
+            instrumentation if instrumentation is not None else get_default()
+        )
+        #: consecutive non-responses per VP
+        self._streak: Dict[Address, int] = {}
+        #: vp -> virtual time its quarantine lifts
+        self._until: Dict[Address, float] = {}
+        self.quarantines = 0
+        self.recoveries = 0
+        self.replacements = 0
+        if self.obs.enabled:
+            self._on_obs_attached(self.obs)
+
+    def _on_obs_attached(self, instrumentation) -> None:
+        if instrumentation.enabled:
+            instrumentation.register_collect_source(self._obs_collect)
+
+    def _obs_collect(self) -> Dict:
+        return {
+            ("vp_quarantines_total", ()): float(self.quarantines),
+        }
+
+    def record(self, vp: Address, responded: bool) -> None:
+        """Account one spoofed-batch outcome for *vp*."""
+        if responded:
+            self._streak[vp] = 0
+            return
+        streak = self._streak.get(vp, 0) + 1
+        self._streak[vp] = streak
+        if streak >= self.threshold and vp not in self._until:
+            self._until[vp] = (
+                self.clock.now() + self.quarantine_seconds
+            )
+            self._streak[vp] = 0
+            self.quarantines += 1
+            if self.obs.enabled:
+                self.obs.emit(
+                    "degrade.quarantine",
+                    vp=str(vp),
+                    until=self._until[vp],
+                )
+
+    def is_quarantined(self, vp: Address) -> bool:
+        until = self._until.get(vp)
+        if until is None:
+            return False
+        if self.clock.now() >= until:
+            del self._until[vp]
+            self.recoveries += 1
+            if self.obs.enabled:
+                self.obs.emit("degrade.requalify", vp=str(vp))
+            return False
+        return True
+
+    def filter_batch(
+        self,
+        batch: Sequence[Address],
+        candidates: Sequence[Address],
+        exclude: Iterable[Address] = (),
+    ) -> Tuple[List[Address], int]:
+        """Drop quarantined VPs from *batch*, topping up from
+        *candidates* (first healthy not already used); returns the
+        adjusted batch and how many replacements were drafted."""
+        kept = [vp for vp in batch if not self.is_quarantined(vp)]
+        missing = len(batch) - len(kept)
+        replaced = 0
+        if missing:
+            used = set(batch) | set(exclude)
+            for vp in candidates:
+                if replaced >= missing:
+                    break
+                if vp in used or self.is_quarantined(vp):
+                    continue
+                kept.append(vp)
+                used.add(vp)
+                replaced += 1
+            self.replacements += replaced
+        return kept, replaced
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able tallies (``repro chaos`` output)."""
+        return {
+            "quarantines": self.quarantines,
+            "recoveries": self.recoveries,
+            "replacements": self.replacements,
+            "quarantined_now": sorted(
+                str(vp) for vp in self._until
+            ),
+        }

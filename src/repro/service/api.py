@@ -160,6 +160,25 @@ class RevtrService:
             user=user_name,
             status=result.status.value,
         )
+        if result.is_partial:
+            # Degraded-but-useful: the measurement stalled short of the
+            # source yet still revealed reverse hops.  Surfaced as its
+            # own series so operators can tell graceful degradation
+            # from total failure.
+            self.obs.inc(
+                "service_partial_results_total",
+                user=user_name,
+                status=result.status.value,
+            )
+            if self.obs.enabled:
+                self.obs.emit(
+                    "degrade.partial",
+                    _mid=result.measurement_id,
+                    user=user_name,
+                    dst=str(dst),
+                    hops=len(result.hops),
+                    status=result.status.value,
+                )
         self.obs.observe(
             "service_request_duration_seconds", result.duration
         )

@@ -127,9 +127,12 @@ class SchedulerReport:
     throughput: float
     peak_inflight: Dict[str, int]
     statuses: Dict[str, int]
+    #: jobs whose final result was partial (non-complete status but
+    #: real reverse hops) — the graceful-degradation signal
+    partial: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "parallelism": self.parallelism,
             "submitted": self.submitted,
             "completed": self.completed,
@@ -141,6 +144,11 @@ class SchedulerReport:
             "peak_inflight": dict(sorted(self.peak_inflight.items())),
             "statuses": dict(sorted(self.statuses.items())),
         }
+        if self.partial:
+            # Keyed in only when nonzero so fault-free reports (and the
+            # BENCH_* files built from them) keep their exact shape.
+            doc["partial_results"] = self.partial
+        return doc
 
 
 class RequestScheduler:
@@ -306,6 +314,11 @@ class RequestScheduler:
             if finishes:
                 makespan = max(finishes) - self._t0
         throughput = self.completed / makespan if makespan else 0.0
+        partial = sum(
+            1
+            for job in self.jobs
+            if job.result is not None and job.result.is_partial
+        )
         return SchedulerReport(
             parallelism=self.config.parallelism,
             submitted=len(self.jobs),
@@ -317,6 +330,7 @@ class RequestScheduler:
             throughput=throughput,
             peak_inflight=dict(self.peak_inflight),
             statuses=statuses,
+            partial=partial,
         )
 
     # ------------------------------------------------------------------
@@ -446,6 +460,18 @@ class RequestScheduler:
             job.eligible_at = finish + cfg.retry_backoff * (
                 2 ** (job.attempts - 1)
             )
+            if (
+                cfg.deadline is not None
+                and job.eligible_at - job.submitted_at > cfg.deadline
+            ):
+                # The backoff alone already overshoots the queue-wait
+                # deadline: requeuing would park a doomed job at the
+                # head of the user's queue for the whole backoff (and
+                # charge its dispatch against quota) only to reject it
+                # at start time.  Reject now, keeping the partial
+                # result of the last attempt on the job.
+                self._reject(job, RejectReason.DEADLINE)
+                return job
             job.state = JobState.QUEUED
             self._queues[user.name].append(job)
             self.retries += 1
@@ -632,6 +658,15 @@ class RequestScheduler:
             job.eligible_at = job.finished_at + cfg.retry_backoff * (
                 2 ** (job.attempts - 1)
             )
+            if (
+                cfg.deadline is not None
+                and job.eligible_at - job.submitted_at > cfg.deadline
+            ):
+                # Same doomed-retry cutoff as virtual mode: don't park
+                # a job whose backoff already blows the deadline.
+                with self._cond:
+                    self._reject(job, RejectReason.DEADLINE)
+                return
             job.state = JobState.QUEUED
             with self._cond:
                 self.retries += 1

@@ -151,6 +151,12 @@ class Internet:
         if self.obs.enabled:
             self._on_obs_attached(self.obs)
 
+        #: fault injector (:class:`repro.sim.faults.FaultInjector`) or
+        #: ``None``.  Every hook sits behind this attribute check, so a
+        #: fault-free run pays one attribute read per probe and stays
+        #: byte-identical to a build without the chaos harness.
+        self.faults = None
+
         self._ipid_counters: Dict[Address, int] = {}
         self._intra_next: Dict[Tuple[int, int], Dict[int, List[int]]] = {}
         self._intra_dist: Dict[Tuple[int, int], Dict[int, int]] = {}
@@ -560,6 +566,7 @@ class Internet:
         ] = None,
     ) -> ProbeOutcome:
         outcome = ProbeOutcome()
+        faults = self.faults
         origin_host = self.hosts.get(probe.injected_at)
         if origin_host is None:
             outcome.drop_reason = "unknown-injection-point"
@@ -569,6 +576,11 @@ class Internet:
         ].allows_spoofing:
             outcome.drop_reason = "spoof-filtered"
             return outcome
+        if faults is not None:
+            reason = faults.pre_send(probe)
+            if reason is not None:
+                outcome.drop_reason = reason
+                return outcome
 
         if context is not None:
             target, spec = context
@@ -599,11 +611,20 @@ class Internet:
             return outcome
         if not delivered or responder_addr is None:
             outcome.drop_reason = "forward-path-drop"
+            if faults is not None:
+                reason = faults.consume_reason()
+                if reason is not None:
+                    outcome.drop_reason = reason
             return outcome
 
         # Destination responsiveness and its own option processing.
         if not self._destination_responds(responder_addr, probe):
             outcome.drop_reason = "destination-unresponsive"
+            return outcome
+        if faults is not None and faults.responder_suppressed(
+            self.router_of(responder_addr)
+        ):
+            outcome.drop_reason = faults.consume_reason()
             return outcome
         self._destination_stamp(responder_addr, probe, rr, ts)
 
@@ -634,6 +655,10 @@ class Internet:
         outcome.reply_router_path = reply_path
         if not delivered:
             outcome.drop_reason = "reply-path-drop"
+            if faults is not None:
+                reason = faults.consume_reason()
+                if reason is not None:
+                    outcome.drop_reason = reason
             return outcome
 
         latency = self.config.link_latency_ms / 1000.0
@@ -712,6 +737,9 @@ class Internet:
         gen = self.routing_generation
         routers = self.routers
         crc32 = zlib.crc32
+        faults = self.faults
+        lossy = faults is not None and faults.has_link_loss
+        policed = faults is not None and faults.has_router_faults
 
         # The loop body below is the FIB dispatch of :meth:`_next_hop`
         # inlined (plus delivery/TTL handling via the terminal entry
@@ -748,6 +776,14 @@ class Internet:
                     )
                     return False, None, hops, path, te
                 reply_addr = router.traceroute_reply_address(ingress_addr)
+                if (
+                    policed
+                    and reply_addr is not None
+                    and faults.te_suppressed(current)
+                ):
+                    # Rate-limited/filtered routers stop answering
+                    # TTL-expired too: the hop reads as "*".
+                    reply_addr = None
                 te = TracerouteReply(
                     ttl=ttl,
                     hop_addr=reply_addr,
@@ -781,6 +817,8 @@ class Internet:
             else:  # FIB_ERROR: deterministic dead end.
                 return False, None, hops, path, None
 
+            if lossy and faults.link_drops(current, next_router, probe):
+                return False, None, hops, path, None
             self._transit_stamp(router, ingress_addr, egress_addr, rr, ts)
             ingress_addr = next_ingress
             current = next_router

@@ -175,3 +175,59 @@ class TestBoundedCache:
             cache.put(i, i)
         assert len(cache) == 500
         assert cache.stats.evictions == 0
+
+
+class TestThreadedPurge:
+    def test_concurrent_maybe_purge_and_access(self):
+        """Sweepers and writers hammer one cache concurrently: every
+        dead entry is removed exactly once, no fresh entry is lost,
+        and the stats stay consistent."""
+        import threading
+
+        clock = VirtualClock()
+        # purge_interval=0 makes every maybe_purge call sweep, so the
+        # contention window is as wide as it can get.
+        cache = MeasurementCache(clock, ttl=10, purge_interval=0.0)
+        for i in range(400):
+            cache.put(("old", i), i)
+        clock.advance(11)
+
+        barrier = threading.Barrier(8)
+        purged = [0] * 4
+        errors = []
+
+        def sweeper(slot):
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    purged[slot] += cache.maybe_purge()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def writer(slot):
+            try:
+                barrier.wait()
+                for i in range(200):
+                    key = ("fresh", slot, i)
+                    cache.put(key, i)
+                    assert cache.get(key) == i
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=sweeper, args=(slot,))
+            for slot in range(4)
+        ] + [
+            threading.Thread(target=writer, args=(slot,))
+            for slot in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert sum(purged) == 400
+        assert len(cache) == 800
+        assert cache.stats.hits == 800
+        assert cache.stats.misses == 0

@@ -141,3 +141,71 @@ class TestJsonAndStats:
         epoch = doc["surveys"]["2020"]
         assert epoch["probed"] > 0
         assert "fractions" in epoch and "distance_cdf" in epoch
+
+
+class TestChaosVerb:
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.preset == "mixed"
+        assert args.requests == 6
+        assert args.retry_budget == 8
+
+    def test_chaos_json_runs_and_injects(self, capsys):
+        import json
+
+        code = main(
+            [
+                "--scale", "tiny", "--seed", "7",
+                "chaos", "--preset", "loss", "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["preset"] == "loss"
+        assert doc["faults"]["total"] > 0
+        assert "link-loss" in doc["faults"]["by_kind"]
+        assert doc["scheduler"]["submitted"] == 6
+
+    def test_chaos_plan_replay_reproduces(self, capsys, tmp_path):
+        import json
+
+        plan_path = str(tmp_path / "plan.json")
+        code = main(
+            [
+                "--scale", "tiny", "--seed", "7",
+                "chaos", "--preset", "mixed", "--json",
+                "--plan-out", plan_path,
+            ]
+        )
+        assert code == 0
+        first = json.loads(capsys.readouterr().out)
+        code = main(
+            [
+                "--scale", "tiny", "--seed", "7",
+                "chaos", "--plan", plan_path, "--json",
+            ]
+        )
+        assert code == 0
+        replayed = json.loads(capsys.readouterr().out)
+        # A saved plan replays bit-for-bit: same injections, same
+        # degradation, same scheduler outcome.
+        assert replayed["preset"] is None
+        assert replayed["plan"] == first["plan"]
+        assert replayed["faults"] == first["faults"]
+        assert replayed["vp_health"] == first["vp_health"]
+        assert replayed["engine_retries"] == first["engine_retries"]
+        assert replayed["scheduler"] == first["scheduler"]
+
+    def test_chaos_none_preset_is_clean(self, capsys):
+        import json
+
+        code = main(
+            [
+                "--scale", "tiny", "--seed", "7",
+                "chaos", "--preset", "none", "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["faults"] == {"total": 0, "by_kind": {}}
+        assert doc["vp_health"]["quarantines"] == 0

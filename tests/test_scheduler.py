@@ -310,3 +310,65 @@ class TestThreadedMode:
         assert report.rejected["queue-full"] == 4
         terminal = {JobState.DONE, JobState.REJECTED}
         assert all(job.state in terminal for job in jobs)
+
+
+class TestDoomedRetry:
+    """A retry whose backoff alone overshoots the deadline is rejected
+    at requeue time (typed DEADLINE), not parked in the queue to be
+    rejected after the whole backoff has been waited out."""
+
+    def _config(self):
+        return SchedulerConfig(
+            parallelism=2,
+            max_retries=2,
+            retry_backoff=1000.0,
+            deadline=60.0,
+        )
+
+    def _check(self, report, doomed, healthy):
+        assert doomed.state is JobState.REJECTED
+        assert doomed.reject_reason is RejectReason.DEADLINE
+        assert report.rejected["deadline"] == 1
+        # The retry was never enqueued: no retry counted, no second
+        # attempt executed, no wait to the backoff horizon.
+        assert report.retries == 0
+        assert doomed.attempts == 1
+        assert (
+            doomed.finished_at - doomed.submitted_at
+            < self._config().retry_backoff
+        )
+        # The last attempt's result survives on the rejected job.
+        assert doomed.result is not None
+        assert doomed.result.status is RevtrStatus.UNRESPONSIVE
+        # Unrelated work is untouched.
+        assert healthy.state is JobState.DONE
+
+    def test_virtual_mode(self, sched_service, small_scenario):
+        service, source, _ = sched_service
+        user = service.add_user(
+            "doomed-v", max_parallel=2, max_per_day=1000
+        )
+        dead = unresponsive_destination(small_scenario)
+        alive = small_scenario.responsive_destinations(
+            1, options_only=True
+        )[0]
+        scheduler = service.scheduler(self._config())
+        doomed = scheduler.submit(user.api_key, dead, source)
+        healthy = scheduler.submit(user.api_key, alive, source)
+        report = scheduler.run()
+        self._check(report, doomed, healthy)
+
+    def test_threaded_mode(self, sched_service, small_scenario):
+        service, source, _ = sched_service
+        user = service.add_user(
+            "doomed-t", max_parallel=2, max_per_day=1000
+        )
+        dead = unresponsive_destination(small_scenario)
+        alive = small_scenario.responsive_destinations(
+            1, options_only=True
+        )[0]
+        scheduler = service.scheduler(self._config())
+        doomed = scheduler.submit(user.api_key, dead, source)
+        healthy = scheduler.submit(user.api_key, alive, source)
+        report = scheduler.run_threaded(max_workers=2)
+        self._check(report, doomed, healthy)
