@@ -7,18 +7,31 @@ contract is that full instrumentation — including structured event
 emission — costs < 5% on the measurement hot path
 (``--max-overhead`` to tighten or relax the gate).
 
-Methodology: two identically seeded scenarios (one per facade) are
-driven over the same destination list with per-destination
-interleaving — null measure, instrumented measure, next destination —
-alternating which goes first.  The overhead estimate is the sum over
-destinations of the *median paired difference* across sweeps: the two
-variants' times for one destination are taken within ~1 ms of each
-other, so CPU-frequency drift on a shared machine cancels in the
-difference, and the median rejects GC pauses and scheduler
-preemptions.  Unpaired statistics (comparing each variant's best
-sweep) proved far noisier: machine speed varies tens of percent
-between sweeps, and independently selected minima can come from
-different speed epochs.
+Methodology — two systematic biases have to be engineered out before
+the ~2 ms quantity of interest is readable on a shared machine:
+
+* **measurement-order warmth**: the first variant to measure a
+  destination runs its path cold; whoever goes later rides warm CPU
+  caches.  Handled by interleaving per destination, rotating the
+  starting variant, measuring every (variant, destination) cell
+  ``REPEATS`` times back-to-back, and keeping only the minimum — the
+  run least disturbed by cold caches, GC pauses, and preemption.
+* **build-order locality**: the scenario built *last* sits in the
+  freshest, most contiguous allocator pages and measures ~2% faster
+  than an identically configured scenario built first.  Handled by
+  rotating the order the three scenarios are built across sweeps and
+  stratifying per destination by build slot: median within each
+  build-slot's sweeps, then the mean of the three slot medians, so
+  every variant is charged each slot's bias equally.
+
+An A/A check (two identical variants in both arms) reads within
+~0.3% under this estimator; the naive paired-median single-shot
+version — which this bench shipped first — read ~2% off, always
+flattering the arm built last.  The engines run their default
+configuration (measurement cache on, like production), and the
+caches are cleared between repeats *outside* the timed region so
+every repeat does the full first-visit work instead of degenerating
+into a cache hit.
 
 Run directly (not collected by pytest)::
 
@@ -45,7 +58,12 @@ from repro.topology import TopologyConfig  # noqa: E402
 
 SEED = 11
 N_DESTINATIONS = 100
-SWEEPS = 7
+# A multiple of 3, so each variant occupies each build slot equally
+# often (see module docstring).
+SWEEPS = 9
+# Back-to-back repeats per (variant, destination) cell; the minimum
+# is kept (see module docstring).
+REPEATS = 3
 
 
 def build(instrumentation):
@@ -67,19 +85,33 @@ def build(instrumentation):
     return engine, destinations
 
 
+def make(variant: int):
+    """Build variant 0 (null), 1 (metrics+tracer), or 2 (full)."""
+    if variant == 0:
+        return build(None)
+    if variant == 1:
+        return build(Instrumentation(event_capacity=0))
+    return build(Instrumentation())
+
+
 def run_sweep(sweep: int):
     """One interleaved sweep over three variants.
 
-    Returns three per-destination time lists: null facade,
-    instrumented without events (metrics + tracer), and fully
-    instrumented (metrics + tracer + event log).  Each sweep rebuilds
-    all engines, so destination *i* repeats identical work across
-    sweeps and per-destination statistics are comparable.
+    Returns ``(slot_of, times)``: the build slot each variant was
+    constructed in this sweep (rotated per sweep — see module
+    docstring), and three per-destination best-of-``REPEATS`` time
+    lists: null facade, instrumented without events (metrics +
+    tracer), and fully instrumented (metrics + tracer + event log).
+    Each sweep rebuilds all engines, so destination *i* repeats
+    identical work across sweeps and per-destination statistics are
+    comparable.
     """
-    engine_null, destinations = build(None)
-    engine_instr, _ = build(Instrumentation(event_capacity=0))
-    engine_events, _ = build(Instrumentation())
-    engines = (engine_null, engine_instr, engine_events)
+    slot_of = [(variant - sweep) % 3 for variant in range(3)]
+    engines = [None, None, None]
+    destinations = None
+    for slot in range(3):
+        variant = (sweep + slot) % 3
+        engines[variant], destinations = make(variant)
     # The static simulated topology is hundreds of thousands of
     # long-lived objects that only exist because the "Internet" is
     # in-process; freeze it so cyclic-GC passes (triggered by any
@@ -91,20 +123,32 @@ def run_sweep(sweep: int):
     times = ([], [], [])
     perf = time.perf_counter
     for index, dst in enumerate(destinations):
-        # Rotate ordering by destination AND sweep: measuring a
-        # destination warms the CPU caches for its path, favouring
-        # whichever engine goes later.  Rotating the starting variant
-        # spreads the warm-cache benefit evenly instead of baking the
-        # bias into one variant.
-        start = (index + sweep) % 3
-        for offset in range(3):
-            variant = (start + offset) % 3
-            t0 = perf()
-            engines[variant].measure(dst)
-            t1 = perf()
-            times[variant].append(t1 - t0)
+        best = [None, None, None]
+        for repeat in range(REPEATS):
+            # Rotate the starting variant by destination, sweep, and
+            # repeat: measuring a destination warms the CPU caches
+            # for its path, favouring whichever engine goes later;
+            # rotation spreads the warm-cache benefit evenly and the
+            # min over repeats then discards the residual cold runs.
+            start = (index + sweep + repeat) % 3
+            for offset in range(3):
+                variant = (start + offset) % 3
+                t0 = perf()
+                engines[variant].measure(dst)
+                t1 = perf()
+                elapsed = t1 - t0
+                if best[variant] is None or elapsed < best[variant]:
+                    best[variant] = elapsed
+            # Untimed: drop the just-stored result so the next repeat
+            # does the full first-visit work (cache machinery itself
+            # stays in the timed path — it is part of the default
+            # engine all three variants run).
+            for engine in engines:
+                engine.cache.clear()
+        for variant in range(3):
+            times[variant].append(best[variant])
     gc.unfreeze()
-    return times
+    return slot_of, times
 
 
 def event_stats(n_destinations: int):
@@ -130,7 +174,7 @@ def event_stats(n_destinations: int):
 
 
 def main(argv=None) -> int:
-    global N_DESTINATIONS, SWEEPS
+    global N_DESTINATIONS, SWEEPS, REPEATS
     parser = argparse.ArgumentParser(
         description="instrumentation overhead micro-benchmark"
     )
@@ -143,39 +187,53 @@ def main(argv=None) -> int:
         help="interleaved sweeps (default %(default)s)",
     )
     parser.add_argument(
+        "--repeats", type=int, default=REPEATS,
+        help="repeats per cell, best kept (default %(default)s)",
+    )
+    parser.add_argument(
         "--max-overhead", type=float, default=5.0,
         help="fail if overhead >= this percentage (default %(default)s)",
     )
     args = parser.parse_args(argv)
     N_DESTINATIONS = args.destinations
     SWEEPS = args.sweeps
+    REPEATS = args.repeats
 
     sweeps = [run_sweep(n) for n in range(SWEEPS)]
-    # Paired per-destination statistics (see module docstring): the
-    # median across sweeps of (variant - null) for destination i is
-    # robust to both inter-sweep machine drift (pairing) and one-off
-    # pauses (median).
-    baseline = sum(
-        median(sweep[0][i] for sweep in sweeps)
-        for i in range(N_DESTINATIONS)
-    )
-    instr_delta = sum(
-        median(sweep[1][i] - sweep[0][i] for sweep in sweeps)
-        for i in range(N_DESTINATIONS)
-    )
-    events_delta = sum(
-        median(sweep[2][i] - sweep[1][i] for sweep in sweeps)
-        for i in range(N_DESTINATIONS)
-    )
-    instrumented = baseline + instr_delta
-    full = instrumented + events_delta
+
+    def stratified_total(variant: int) -> float:
+        # Per destination: median within each build-slot's sweeps
+        # (outlier rejection), then the mean of the three slot
+        # medians (build-order bias cancellation — see module
+        # docstring).  Differences are taken between these totals,
+        # not within sweeps: within one sweep the variants occupy
+        # *different* build slots, so a paired difference would mix
+        # three bias clusters instead of cancelling them.
+        total = 0.0
+        for i in range(N_DESTINATIONS):
+            by_slot: dict = {}
+            for slot_of, times in sweeps:
+                by_slot.setdefault(slot_of[variant], []).append(
+                    times[variant][i]
+                )
+            total += sum(
+                median(cell) for cell in by_slot.values()
+            ) / len(by_slot)
+        return total
+
+    baseline = stratified_total(0)
+    instrumented = stratified_total(1)
+    full = stratified_total(2)
+    instr_delta = instrumented - baseline
+    events_delta = full - instrumented
     instr_overhead = instr_delta / baseline * 100.0
     event_overhead = events_delta / baseline * 100.0
     total_overhead = (instr_delta + events_delta) / baseline * 100.0
     events = event_stats(N_DESTINATIONS)
     print("obs overhead micro-benchmark")
     print(f"  workload: {N_DESTINATIONS} x measure(), small topology, "
-          f"interleaved, paired medians over {SWEEPS} sweeps")
+          f"interleaved, best-of-{REPEATS}, build-slot-stratified "
+          f"over {SWEEPS} build-rotated sweeps")
     print(f"  null facade:     {baseline * 1000:8.1f} ms")
     print(f"  metrics+tracer:  {instrumented * 1000:8.1f} ms "
           f"({instr_overhead:+.2f} %)")
@@ -221,6 +279,7 @@ def main(argv=None) -> int:
                 "max_overhead_pct": args.max_overhead,
                 "destinations": N_DESTINATIONS,
                 "sweeps": SWEEPS,
+                "repeats": REPEATS,
                 "events": events,
                 "ok": ok,
             },

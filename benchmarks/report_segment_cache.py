@@ -1,0 +1,352 @@
+"""Benchmark: cross-measurement segment cache on a repeated stream.
+
+Runs a repeated-destination measurement stream — the serving pattern
+the paper's deployment sees, where popular destinations (M-Lab
+clients, CDN prefixes) are re-measured continuously — on identically
+seeded scenarios: once with the default engine and once with
+``segment_cache`` + ``coalesce_batches`` on.  The first pass over the
+destination set is the warm-up (reported, not gated: the cache has
+nothing to splice yet and is byte-identical by contract); the gate is
+**steady-state throughput** over the remaining passes.
+
+Throughput is measured in *virtual* (network) time: the deployed
+system is bound by probe RTTs and spoofed-batch timeouts, not CPU, so
+measurements per virtual second is what a VP fleet's serving capacity
+looks like.  Wall-clock and probe-count ratios are reported alongside.
+
+Three gates, any failure exits 1:
+
+* **byte identity** — with both flags off, outputs are identical to
+  the default engine's, to the serialized byte;
+* **accuracy** — every steady-state result served entirely from the
+  cache (a whole-path splice: zero probes spent) is cross-checked
+  against a from-scratch measurement of that destination AND against
+  the simulator's ground-truth reverse path: its router-level
+  precision must be at least the direct measurement's.  (Exact
+  hop-for-hop equality is reported but not gated: a truncated chain
+  can re-enter the loop at a router the cold run never evaluated,
+  where an atlas intersection yields a different — equally correct —
+  tail over the same ground-truth routers.);
+* **speedup** — steady-state virtual-time throughput must improve by
+  ``--min-speedup`` (default 2x; CI smoke relaxes it on small
+  topologies where unresponsive-destination pings dominate).
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/report_segment_cache.py
+    PYTHONPATH=src python benchmarks/report_segment_cache.py \
+        --scale small --destinations 10 --min-speedup 1.0  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.core.revtr import EngineConfig  # noqa: E402
+from repro.experiments import Scenario  # noqa: E402
+from repro.topology import TopologyConfig  # noqa: E402
+
+SEED = 11
+
+SCALES = {
+    "small": TopologyConfig.small,
+    "large": TopologyConfig.large,
+}
+
+
+def serialized(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def path_of(result):
+    return [
+        (str(hop.addr), hop.technique.value) for hop in result.hops
+    ]
+
+
+def truth_precision(internet, result, truth_routers):
+    """Fraction of a result's router hops on the true reverse path.
+
+    Endpoint placeholders are excluded; hop addresses (any interface
+    of a router — RR stamps, loopbacks) are resolved to router ids so
+    alias differences do not count as errors.
+    """
+    from repro.core.result import HopTechnique
+
+    mapped = on_path = 0
+    for hop in result.hops:
+        if hop.technique in (
+            HopTechnique.DESTINATION,
+            HopTechnique.SOURCE,
+        ):
+            continue
+        router_id = internet.iface_owner.get(hop.addr)
+        if router_id is None:
+            continue
+        mapped += 1
+        if router_id in truth_routers:
+            on_path += 1
+    return (on_path / mapped) if mapped else 1.0
+
+
+def run_stream(scale, n_destinations, passes, amortized):
+    """Build a fresh scenario and run the repeated stream.
+
+    Returns per-pass ``(wall_seconds, virtual_seconds, probes)``
+    rows plus the first- and final-pass results (for the identity and
+    accuracy gates).
+    """
+    scenario = Scenario(
+        config=SCALES[scale](seed=SEED), seed=SEED, atlas_size=40
+    )
+    config = EngineConfig(
+        segment_cache=amortized, coalesce_batches=amortized
+    )
+    engine = scenario.engine(
+        scenario.sources()[0], "revtr2.0", config=config
+    )
+    destinations = scenario.responsive_destinations(
+        n_destinations, options_only=True
+    )
+    rows = []
+    first = final = None
+    gc.collect()
+    for index in range(passes):
+        wall0 = time.perf_counter()
+        virtual0 = engine.prober.clock.now()
+        mark = engine.prober.counter.mark()
+        if amortized:
+            results = engine.measure_many(destinations)
+        else:
+            results = [engine.measure(d) for d in destinations]
+        rows.append(
+            (
+                time.perf_counter() - wall0,
+                engine.prober.clock.now() - virtual0,
+                sum(engine.prober.counter.delta(mark).values()),
+            )
+        )
+        if index == 0:
+            first = results
+        final = results
+    return rows, first, final, destinations, scenario
+
+
+def steady(rows):
+    """Aggregate ``(wall, virtual, probes)`` over the post-warm-up
+    passes."""
+    tail = rows[1:]
+    return (
+        sum(r[0] for r in tail),
+        sum(r[1] for r in tail),
+        sum(r[2] for r in tail),
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="large"
+    )
+    parser.add_argument("--destinations", type=int, default=25)
+    parser.add_argument(
+        "--passes",
+        type=int,
+        default=6,
+        help="total passes over the destination set; the first is "
+        "the (ungated) warm-up",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="fail (exit 1) below this steady-state virtual-time "
+        "throughput ratio; use 1.0 for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+    if args.passes < 2:
+        parser.error("--passes must be at least 2 (warm-up + steady)")
+
+    base_rows, base_first, _, _, scenario = run_stream(
+        args.scale, args.destinations, args.passes, amortized=False
+    )
+    fast_rows, fast_first, fast_final, destinations, fast_scenario = (
+        run_stream(
+            args.scale, args.destinations, args.passes, amortized=True
+        )
+    )
+
+    # Gate 1: flags off change nothing.  The amortized arm's warm-up
+    # pass doubles as the check that a *cold* cache changes nothing
+    # either (it only observes on pass one).
+    flags_off_rows, flags_off_first, _, _, _ = run_stream(
+        args.scale, args.destinations, 2, amortized=False
+    )
+    identical = [serialized(r) for r in base_first] == [
+        serialized(r) for r in flags_off_first
+    ]
+    cold_identical = [path_of(r) for r in fast_first] == [
+        path_of(r) for r in base_first
+    ]
+
+    # Gate 2: whole-path splices (zero probes spent) must be at least
+    # as accurate against the ground-truth reverse path as the direct
+    # measurement of the same destination.
+    truth_internet = fast_scenario.internet
+    direct_by_dst = {
+        str(dst): result
+        for dst, result in zip(destinations, base_first)
+    }
+    spliced_total = spliced_exact = spliced_accurate = 0
+    for dst, result in zip(destinations, fast_final):
+        if sum(result.probe_counts.values()) != 0:
+            continue
+        spliced_total += 1
+        direct_result = direct_by_dst[str(dst)]
+        if path_of(result) == path_of(direct_result):
+            spliced_exact += 1
+        truth = set(
+            truth_internet.ground_truth_router_path(dst, result.src)
+        )
+        if truth_precision(
+            truth_internet, result, truth
+        ) >= truth_precision(truth_internet, direct_result, truth):
+            spliced_accurate += 1
+    accurate = spliced_accurate == spliced_total and spliced_total > 0
+
+    # Gate 3: steady-state throughput.
+    base_wall, base_virtual, base_probes = steady(base_rows)
+    fast_wall, fast_virtual, fast_probes = steady(fast_rows)
+    n_steady = args.destinations * (args.passes - 1)
+    speedup_virtual = (
+        base_virtual / fast_virtual if fast_virtual else 0.0
+    )
+    speedup_wall = base_wall / fast_wall if fast_wall else 0.0
+    probe_ratio = base_probes / fast_probes if fast_probes else 0.0
+
+    internet = scenario.internet
+    print("segment cache benchmark (repeated-destination stream)")
+    print(
+        f"  workload: {args.destinations} destinations x "
+        f"{args.passes} passes, {args.scale} topology "
+        f"(ASes: {len(internet.graph)}, routers: "
+        f"{len(internet.routers)})"
+    )
+    print(
+        "  warm-up pass (identical by contract): "
+        f"default {base_rows[0][1]:.1f}s virtual / "
+        f"{base_rows[0][2]} probes, amortized "
+        f"{fast_rows[0][1]:.1f}s / {fast_rows[0][2]} probes"
+    )
+    print(
+        f"  steady state ({n_steady} measurements):"
+    )
+    print(
+        f"    default:   {base_virtual:8.1f}s virtual  "
+        f"{base_wall * 1000:8.1f}ms wall  {base_probes:6d} probes"
+    )
+    print(
+        f"    amortized: {fast_virtual:8.1f}s virtual  "
+        f"{fast_wall * 1000:8.1f}ms wall  {fast_probes:6d} probes"
+    )
+    print(
+        f"  throughput speedup: {speedup_virtual:.2f}x virtual-time "
+        f"({speedup_wall:.2f}x wall, {probe_ratio:.2f}x fewer probes)"
+    )
+    print(f"  flags-off byte-identity: {identical}")
+    print(f"  cold-cache path-identity: {cold_identical}")
+    print(
+        f"  splice accuracy: {spliced_accurate}/{spliced_total} "
+        "whole-path splices at/above direct ground-truth precision "
+        f"({spliced_exact} exact path matches)"
+    )
+
+    payload = {
+        "benchmark": "segment_cache",
+        "scale": args.scale,
+        "destinations": args.destinations,
+        "passes": args.passes,
+        "seed": SEED,
+        "steady_state": {
+            "measurements": n_steady,
+            "default": {
+                "virtual_seconds": round(base_virtual, 3),
+                "wall_seconds": round(base_wall, 6),
+                "probes": base_probes,
+                "ops_per_virtual_second": round(
+                    n_steady / base_virtual, 2
+                )
+                if base_virtual
+                else None,
+            },
+            "amortized": {
+                "virtual_seconds": round(fast_virtual, 3),
+                "wall_seconds": round(fast_wall, 6),
+                "probes": fast_probes,
+                "ops_per_virtual_second": round(
+                    n_steady / fast_virtual, 2
+                )
+                if fast_virtual
+                else None,
+            },
+        },
+        "speedup_virtual": round(speedup_virtual, 3),
+        "speedup_wall": round(speedup_wall, 3),
+        "probe_ratio": round(probe_ratio, 3),
+        "flags_off_identical": identical,
+        "cold_cache_identical": cold_identical,
+        "splices_checked": spliced_total,
+        "splices_ground_truth_accurate": spliced_accurate,
+        "splices_exact_path_match": spliced_exact,
+    }
+    report_dir = os.path.join(os.path.dirname(__file__), "reports")
+    os.makedirs(report_dir, exist_ok=True)
+    path = os.path.join(report_dir, "BENCH_segcache.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"  wrote {path}")
+
+    failed = False
+    if not identical:
+        print(
+            "FAIL: flags-off run is not byte-identical",
+            file=sys.stderr,
+        )
+        failed = True
+    if not cold_identical:
+        print(
+            "FAIL: cold-cache warm-up pass changed routes",
+            file=sys.stderr,
+        )
+        failed = True
+    if not accurate:
+        print(
+            f"FAIL: {spliced_total - spliced_accurate} of "
+            f"{spliced_total} whole-path splices fall below the "
+            "direct measurement's ground-truth precision (or none "
+            "occurred)",
+            file=sys.stderr,
+        )
+        failed = True
+    if speedup_virtual < args.min_speedup:
+        print(
+            f"FAIL: steady-state speedup {speedup_virtual:.2f}x "
+            f"below required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

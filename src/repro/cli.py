@@ -103,11 +103,29 @@ def _format_event_doc(doc: dict) -> str:
     )
 
 
+def _amortization_config(scenario, args):
+    """Engine config honouring --segment-cache/--coalesce, or None
+    when neither flag is set (so the cached default engine and its
+    byte-identical behaviour are untouched)."""
+    segment_cache = getattr(args, "segment_cache", False)
+    coalesce = getattr(args, "coalesce", False)
+    if not segment_cache and not coalesce:
+        return None
+    config = scenario.engine_config(args.variant)
+    config.segment_cache = segment_cache
+    config.coalesce_batches = coalesce
+    return config
+
+
 def _cmd_measure(args: argparse.Namespace) -> int:
     instr = Instrumentation()
     scenario = _scenario(args, instrumentation=instr)
     source = scenario.sources()[args.source_index]
-    engine = scenario.engine(source, args.variant)
+    engine = scenario.engine(
+        source,
+        args.variant,
+        config=_amortization_config(scenario, args),
+    )
     destinations = (
         [args.dst]
         if args.dst
@@ -116,13 +134,24 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         )
     )
     measurements = []
-    for dst in destinations:
-        result = engine.measure(dst)
+    # With --coalesce the whole stream runs as one measure_many group;
+    # per-measurement trace trees are only attributable in the
+    # sequential path.
+    coalesced = (
+        engine.measure_many(destinations) if args.coalesce else None
+    )
+    for index, dst in enumerate(destinations):
+        result = (
+            coalesced[index]
+            if coalesced is not None
+            else engine.measure(dst)
+        )
         if args.json:
             doc = result.to_dict()
-            trace = instr.tracer.last_trace
-            if trace is not None:
-                doc["trace"] = trace.to_dict()
+            if coalesced is None:
+                trace = instr.tracer.last_trace
+                if trace is not None:
+                    doc["trace"] = trace.to_dict()
             measurements.append(doc)
             continue
         print(result.render())
@@ -215,11 +244,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     instr = Instrumentation()
     scenario = _scenario(args, instrumentation=instr)
     source = scenario.sources()[args.source_index]
-    engine = scenario.engine(source, args.variant)
-    for dst in scenario.responsive_destinations(
+    engine = scenario.engine(
+        source,
+        args.variant,
+        config=_amortization_config(scenario, args),
+    )
+    dsts = scenario.responsive_destinations(
         args.count, options_only=True
-    ):
-        engine.measure(dst)
+    )
+    if args.coalesce:
+        engine.measure_many(dsts)
+    else:
+        for dst in dsts:
+            engine.measure(dst)
     if args.slo:
         from repro.obs.slo import format_slo, slo_summary
 
@@ -478,6 +515,7 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.revtr import EngineConfig
     from repro.service import (
         RevtrService,
         SchedulerConfig,
@@ -501,6 +539,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ip2as=scenario.ip2as,
         relationships=scenario.relationships,
         resolver=scenario.resolver,
+        engine_config=EngineConfig(
+            segment_cache=args.segment_cache,
+            coalesce_batches=args.coalesce,
+        ),
         instrumentation=instr,
     )
     # A demo population: per-user parallel caps cycle 1, 2, 4, ...
@@ -523,6 +565,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_queue_per_user=args.queue,
             deadline=args.deadline,
             max_retries=args.retries,
+            coalesce=args.coalesce,
         )
     )
     for user in users:
@@ -604,6 +647,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         engine_config=EngineConfig(
             retry_budget=args.retry_budget,
             recheck_unresponsive=True,
+            segment_cache=args.segment_cache,
+            coalesce_batches=args.coalesce,
         ),
         instrumentation=instr,
     )
@@ -626,6 +671,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             parallelism=args.parallel,
             deadline=args.deadline,
             max_retries=args.retries,
+            coalesce=args.coalesce,
         )
     )
     for dst in destinations:
@@ -673,6 +719,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_amortization_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--segment-cache",
+        action="store_true",
+        help="reuse reverse segments across measurements toward the "
+        "same source (off by default; invalidated on routing change)",
+    )
+    p.add_argument(
+        "--coalesce",
+        action="store_true",
+        help="coalesce concurrent measurements: duplicate spoofed-RR "
+        "batches and ping checks collapse (off by default)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -705,6 +766,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="revtr2.0",
         help="system variant (e.g. revtr2.0, revtr1.0)",
     )
+    _add_amortization_flags(measure)
     measure.add_argument(
         "--json",
         action="store_true",
@@ -758,6 +820,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--count", type=int, default=3)
     stats.add_argument("--source-index", type=int, default=0)
     stats.add_argument("--variant", default="revtr2.0")
+    _add_amortization_flags(stats)
     stats.add_argument(
         "--slo",
         action="store_true",
@@ -950,6 +1013,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="gzip-rotate the event log once it exceeds BYTES "
         "(FILE.1.gz, FILE.2.gz, ...)",
     )
+    _add_amortization_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 
     chaos = sub.add_parser(
@@ -1008,6 +1072,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="export the flight-recorder event log to FILE (JSONL)",
     )
+    _add_amortization_flags(chaos)
     chaos.set_defaults(func=_cmd_chaos)
     return parser
 

@@ -72,18 +72,25 @@ class MeasurementCache:
         enabled: bool = True,
         max_entries: Optional[int] = None,
         purge_interval: float = DEFAULT_PURGE_INTERVAL,
+        negative_ttl: Optional[float] = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.clock = clock
         self.ttl = ttl
+        #: Lifetime for entries stored with ``put(..., negative=True)``
+        #: (empty / UNRESPONSIVE verdicts).  None keeps the historical
+        #: behaviour — negative results linger as long as good ones.
+        self.negative_ttl = negative_ttl
         self.enabled = enabled
         self.max_entries = max_entries
         self.purge_interval = purge_interval
         self.stats = CacheStats()
         #: instrumentation sink; rewired by the engine when enabled
         self.obs = NULL
-        self._entries: Dict[Hashable, Tuple[float, Any]] = {}
+        #: key -> (stored_at, value, effective ttl) — per-entry TTL so
+        #: negative results can expire on their own (shorter) schedule.
+        self._entries: Dict[Hashable, Tuple[float, Any, float]] = {}
         self._lock = threading.RLock()
         self._last_purge = clock.now()
 
@@ -123,8 +130,8 @@ class MeasurementCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
-                stored_at, stored = entry
-                if self.clock.now() - stored_at > self.ttl:
+                stored_at, stored, ttl = entry
+                if self.clock.now() - stored_at > ttl:
                     del self._entries[key]
                     self.stats.expirations += 1
                     self.stats.misses += 1
@@ -149,20 +156,32 @@ class MeasurementCache:
             # (decisions that changed the measurement's course) earn an
             # event.  The kind label is the first element of tuple keys
             # ("rr-step", "fwd-trace", ...).
-            self.obs.emit(
+            self.obs.emit_t(
                 "cache.lookup",
-                kind=key[0] if isinstance(key, tuple) and key else "?",
-                outcome=outcome,
+                (
+                    key[0] if isinstance(key, tuple) and key else "?",
+                    outcome,
+                ),
             )
         return value
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def put(
+        self, key: Hashable, value: Any, negative: bool = False
+    ) -> None:
+        """Store *value*; ``negative=True`` marks an empty/unresponsive
+        verdict that should expire after ``negative_ttl`` instead of the
+        full ``ttl`` (no effect unless ``negative_ttl`` is set)."""
         if not self.enabled:
             return
+        ttl = (
+            self.negative_ttl
+            if negative and self.negative_ttl is not None
+            else self.ttl
+        )
         with self._lock:
             if key in self._entries:
                 del self._entries[key]
-            self._entries[key] = (self.clock.now(), value)
+            self._entries[key] = (self.clock.now(), value, ttl)
             if self.max_entries is not None:
                 while len(self._entries) > self.max_entries:
                     oldest = next(iter(self._entries))
@@ -174,7 +193,7 @@ class MeasurementCache:
             entry = self._entries.get(key)
             if entry is None:
                 return False
-            return self.clock.now() - entry[0] <= self.ttl
+            return self.clock.now() - entry[0] <= entry[2]
 
     def age(self, key: Hashable) -> Optional[float]:
         with self._lock:
@@ -189,8 +208,8 @@ class MeasurementCache:
             now = self.clock.now()
             expired = [
                 key
-                for key, (stored_at, _) in self._entries.items()
-                if now - stored_at > self.ttl
+                for key, (stored_at, _, ttl) in self._entries.items()
+                if now - stored_at > ttl
             ]
             for key in expired:
                 del self._entries[key]

@@ -25,7 +25,6 @@ Fig. 5c ("revtr 2.0 = revtr 1.0 + ingress + cache − TS + RR atlas").
 from __future__ import annotations
 
 import random
-from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -43,8 +42,9 @@ from repro.core.result import (
     RevtrStatus,
 )
 from repro.core.rr_atlas import RRAtlas
+from repro.core.segcache import ReverseSegmentCache
 from repro.core.symmetry import LinkType, SymmetryPolicy, SymmetryStepper
-from repro.net.addr import Address, is_private, slash30_peer
+from repro.net.addr import Address, is_private, prefix_of, slash30_peer
 from repro.obs.runtime import attach, get_default
 from repro.probing.prober import Prober
 
@@ -90,6 +90,24 @@ class EngineConfig:
     #: stopped answering mid-measurement, report ``UNRESPONSIVE``
     #: (keeping the partial path) instead of ``INCOMPLETE``.
     recheck_unresponsive: bool = False
+    #: Cross-measurement amortization (§5): consult the per-source
+    #: reverse-segment cache before the RR/TS/fallback steps, splicing
+    #: chains of hops that earlier completed measurements toward this
+    #: source already revealed.  Off by default; with it off the
+    #: engine's outputs are byte-identical to pre-cache behaviour.
+    segment_cache: bool = False
+    #: Coalesce concurrent measurements inside one
+    #: :meth:`RevtrEngine.measure_many` call: duplicate
+    #: (current-hop, VP-set) spoofed RR batches collapse into one
+    #: probe batch and ping checks dedupe per destination /24.  Off by
+    #: default; with it off ``measure_many`` is a literal sequential
+    #: loop over :meth:`RevtrEngine.measure`.
+    coalesce_batches: bool = False
+    #: Negative-result TTL for the measurement cache: empty RR-step
+    #: outcomes expire after this many virtual seconds instead of the
+    #: full day-scale TTL.  None keeps the historical single-TTL
+    #: behaviour.
+    negative_ttl: Optional[float] = None
 
     def variant_name(self) -> str:
         """Short label for reports (Table 4 row names)."""
@@ -118,6 +136,25 @@ class EngineConfig:
         return " ".join(parts)
 
 
+class _BatchCoalescer:
+    """Shared dedup state for one coalesced ``measure_many`` group.
+
+    Lives only for the duration of the call that installed it, so
+    coalescing never reuses anything across groups — cross-group
+    amortization is the segment cache's job, with its generation/TTL
+    invalidation; this object just collapses *concurrent* duplicates.
+    """
+
+    def __init__(self) -> None:
+        #: (current hop, VP tuple) -> replies of the batch that ran
+        self.batches: Dict[tuple, list] = {}
+        #: destination /24 prefix -> liveness verdict of the first
+        #: ping check against that prefix
+        self.ping_alive: Dict[object, bool] = {}
+        self.batches_coalesced = 0
+        self.pings_coalesced = 0
+
+
 class RevtrEngine:
     """Measures reverse traceroutes from arbitrary destinations back to
     one source."""
@@ -137,6 +174,7 @@ class RevtrEngine:
         cache: Optional[MeasurementCache] = None,
         spoofers: Sequence[Address] = (),
         instrumentation=None,
+        segcache: Optional[ReverseSegmentCache] = None,
     ) -> None:
         self.prober = prober
         self.source = source
@@ -156,6 +194,23 @@ class RevtrEngine:
             )
         )
         self.cache.enabled = self.config.use_cache
+        if self.config.negative_ttl is not None:
+            self.cache.negative_ttl = self.config.negative_ttl
+        #: per-source reverse-segment cache; None unless the
+        #: ``segment_cache`` flag is on, so the flags-off hot loop
+        #: tests one attribute and touches nothing else.  The service
+        #: passes a shared instance so every engine measuring toward
+        #: one source amortizes the same segments.
+        self.segcache: Optional[ReverseSegmentCache] = None
+        if self.config.segment_cache:
+            self.segcache = (
+                segcache
+                if segcache is not None
+                else ReverseSegmentCache(prober.clock, prober.internet)
+            )
+        #: in-flight coalescer; installed by :meth:`measure_many` when
+        #: ``coalesce_batches`` is on, None otherwise
+        self._coalescer: Optional[_BatchCoalescer] = None
         #: observability facade (metrics + tracing); the NULL default
         #: makes every instrumented call a no-op.  Components still on
         #: the null default inherit the engine's sink so one parameter
@@ -163,7 +218,10 @@ class RevtrEngine:
         self.obs = (
             instrumentation if instrumentation is not None else get_default()
         )
-        attach(self.obs, self.cache, self.atlas, self.rr_atlas)
+        attach(
+            self.obs, self.cache, self.atlas, self.rr_atlas,
+            self.segcache,
+        )
         # Per-hop counters are plain tallies mirrored into the registry
         # at collection time (pull-style), so the measurement loop pays
         # a dict increment, not a registry update, per step.
@@ -187,9 +245,17 @@ class RevtrEngine:
         #: intersect attempts in the measurement in flight (annotated
         #: onto the root span when it closes)
         self._m_intersects = 0
+        #: ping-check outcome of the measurement in flight (None until
+        #: a check runs; carried on the measure.end event)
+        self._m_ping = None
         #: flight-recorder handle, or None when observability is off —
         #: emit sites test one local instead of two attribute hops.
         self._ev = self.obs.events if self._obs_on else None
+        #: engine-constant event fields, precomputed once: the begin
+        #: event is on every measurement's hot path and
+        #: ``variant_name()`` re-derives its label from flags per call
+        self._variant_label = self.config.variant_name()
+        self._source_str = str(source)
         if self._obs_on:
             self.obs.register_collect_source(self._obs_collect)
         self.spoofers = list(spoofers)
@@ -282,14 +348,9 @@ class RevtrEngine:
             # One event carries the whole assume-symmetry decision
             # (outcome + the penultimate hop it hinged on) — the hot
             # loop emits a single record per fallback, not two.
-            fields: Dict[str, object] = {"outcome": outcome}
-            if link is not None:
-                fields["link"] = link
-            if hop is not None:
-                fields["hop"] = str(hop)
-            if penultimate is not None:
-                fields["penultimate"] = str(penultimate)
-            self._ev.emit("fallback", **fields)
+            self._ev.emit_t(
+                "fallback", (outcome, link, hop, penultimate)
+            )
 
     def _harvest_terminal_from_atlas(self) -> None:
         """Learn the source's first-hop addresses from atlas tails."""
@@ -339,17 +400,12 @@ class RevtrEngine:
             return None
         self._step("intersect_hit")
         with self.obs.span(
-            "atlas.intersect", hop=str(current), via=via
+            "atlas.intersect", hop=current, via=via
         ) as span:
-            span.annotate(vp=str(hit.vp), index=hit.index)
+            span.annotate(vp=hit.vp, index=hit.index)
         if self._ev is not None:
-            self._ev.emit(
-                "intersect",
-                hop=str(current),
-                outcome="hit",
-                via=via,
-                vp=str(hit.vp),
-                index=hit.index,
+            self._ev.emit_t(
+                "intersect", (current, "hit", via, hit.vp, hit.index)
             )
         return hit
 
@@ -383,18 +439,16 @@ class RevtrEngine:
     ) -> Tuple[List[Address], HopTechnique]:
         """Try to reveal reverse hops from *current* with record route."""
         ev = self._ev
-        with self.obs.span("rr.step", hop=str(current)) as span:
+        with self.obs.span("rr.step", hop=current) as span:
             key = ("rr-step", self.source, current)
             cached = self.cache.get(key)
             if cached is not None:
                 span.annotate(cached=True, revealed=len(cached[0]))
                 if ev is not None:
-                    ev.emit(
+                    ev.emit_t(
                         "rr.step",
-                        hop=str(current),
-                        source="cache",
-                        technique=cached[1].value,
-                        revealed=len(cached[0]),
+                        (current, "cache", cached[1]._value_,
+                         len(cached[0])),
                     )
                 return cached
 
@@ -423,12 +477,9 @@ class RevtrEngine:
                     revealed=len(outcome[0]),
                 )
                 if ev is not None:
-                    ev.emit(
+                    ev.emit_t(
                         "rr.step",
-                        hop=str(current),
-                        source="direct",
-                        technique="rr",
-                        revealed=len(outcome[0]),
+                        (current, "direct", "rr", len(outcome[0])),
                     )
                 self.cache.put(key, outcome)
                 return outcome
@@ -452,13 +503,10 @@ class RevtrEngine:
                         revealed=len(outcome[0]),
                     )
                     if ev is not None:
-                        ev.emit(
+                        ev.emit_t(
                             "rr.step",
-                            hop=str(current),
-                            source="spoofed",
-                            technique="spoofed-rr",
-                            revealed=len(outcome[0]),
-                            batches=batches,
+                            (current, "spoofed", "spoofed-rr",
+                             len(outcome[0]), batches),
                         )
                     self.cache.put(key, outcome)
                     return outcome
@@ -469,13 +517,9 @@ class RevtrEngine:
                 revealed=0,
             )
             if ev is not None:
-                ev.emit(
+                ev.emit_t(
                     "rr.step",
-                    hop=str(current),
-                    source="none",
-                    technique="spoofed-rr",
-                    revealed=0,
-                    batches=batches,
+                    (current, "none", "spoofed-rr", 0, batches),
                 )
             if faults is not None and faults.injections != mark:
                 # An injected fault fired during this step: the empty
@@ -484,9 +528,13 @@ class RevtrEngine:
                 # are still cached — revealed hops are real however
                 # lossy the path was).
                 if ev is not None:
-                    ev.emit("degrade.nocache", hop=str(current))
+                    ev.emit("degrade.nocache", hop=current)
             else:
-                self.cache.put(key, outcome)
+                self.cache.put(key, outcome, negative=True)
+                if self.segcache is not None:
+                    # The router ignored the whole RR arsenal: remember
+                    # that so sibling measurements skip the fleet too.
+                    self.segcache.store_negative(current)
             return outcome
 
     def _spoofed_batches(self, current: Address):
@@ -540,14 +588,25 @@ class RevtrEngine:
             if replaced and self._ev is not None:
                 self._ev.emit(
                     "degrade.replace",
-                    hop=str(current),
+                    hop=current,
                     batch=index,
                     replaced=replaced,
                 )
             if not vps:
                 return []
+        coalescer = self._coalescer
+        batch_key = None
+        if coalescer is not None:
+            # Duplicate (current-hop, VP-set) batches across the
+            # in-flight group collapse into the first one's replies:
+            # no probes, no 10 s spoof timeout, no batch event.
+            batch_key = (current, tuple(vps))
+            cached = coalescer.batches.get(batch_key)
+            if cached is not None:
+                coalescer.batches_coalesced += 1
+                return cached
         with self.obs.span(
-            "rr.spoofed_batch", hop=str(current), vps=len(vps),
+            "rr.spoofed_batch", hop=current, vps=len(vps),
             batched=True,
         ) as span:
             results = self.prober.spoofed_rr_batch(
@@ -560,14 +619,12 @@ class RevtrEngine:
             # The VP list is the "which vantage points and why" record:
             # order reflects the selector's ranking (ingress-closest
             # first in session mode).
-            self._ev.emit(
+            self._ev.emit_t(
                 "rr.batch",
-                hop=str(current),
-                batch=index,
-                mode=mode,
-                vps=[str(vp) for vp in vps],
-                responses=responses,
+                (current, index, mode, tuple(vps), responses),
             )
+        if coalescer is not None:
+            coalescer.batches[batch_key] = results
         return results
 
     def _refresh_intersection(self, hit, current: Address):
@@ -577,7 +634,7 @@ class RevtrEngine:
 
         if self._ev is not None:
             self._ev.emit(
-                "intersect.refresh", hop=str(current), vp=str(hit.vp)
+                "intersect.refresh", hop=current, vp=hit.vp
             )
         trace = paris_traceroute(self.prober, hit.vp, self.source)
         if trace.responsive_hops():
@@ -625,7 +682,7 @@ class RevtrEngine:
         """
         if self.adjacency is None:
             return None
-        with self.obs.span("ts.step", hop=str(current)) as span:
+        with self.obs.span("ts.step", hop=current) as span:
             self._step("ts")
             candidates: List[Address] = []
             peer = slash30_peer(current)
@@ -657,26 +714,65 @@ class RevtrEngine:
                 if result.adjacency_on_reverse_path:
                     span.annotate(adjacent=str(adj))
                     if self._ev is not None:
-                        self._ev.emit(
+                        self._ev.emit_t(
                             "ts.step",
-                            hop=str(current),
-                            candidates=len(candidates),
-                            adjacent=str(adj),
+                            (current, len(candidates), adj),
                         )
                     return adj
             span.annotate(adjacent=None)
             if self._ev is not None:
-                self._ev.emit(
-                    "ts.step",
-                    hop=str(current),
-                    candidates=len(candidates),
-                    adjacent=None,
+                self._ev.emit_t(
+                    "ts.step", (current, len(candidates), None)
                 )
             return None
 
     # ------------------------------------------------------------------
     # The measurement loop
     # ------------------------------------------------------------------
+
+    def _segcache_store(self, hops: List[ReverseHop]) -> None:
+        """Feed a completed path's edges into the segment cache.
+
+        Each consecutive ``(a, b)`` hop pair is one reusable reverse
+        edge: from ``a.addr`` the next reverse hop toward the source is
+        ``b.addr``, discovered by *b*'s technique — valid for every
+        measurement toward this source under destination-based routing.
+        The destination placeholder hop is never a successor, and
+        duplicate-address pairs (alias stitches) are skipped.
+        """
+        segcache = self.segcache
+        for a, b in zip(hops, hops[1:]):
+            if b.technique is HopTechnique.DESTINATION:
+                continue
+            if a.addr == b.addr:
+                continue
+            segcache.store(
+                a.addr,
+                b.addr,
+                b.technique,
+                assumed_link=b.assumed_link,
+            )
+
+    def measure_many(
+        self, dsts: Sequence[Address]
+    ) -> List[ReverseTracerouteResult]:
+        """Measure a batch of destinations toward the source.
+
+        With ``coalesce_batches`` off this is literally a sequential
+        loop over :meth:`measure`, so results are byte-identical to N
+        independent calls.  With it on, the group shares one
+        :class:`_BatchCoalescer`: duplicate (current-hop, VP-set)
+        spoofed batches collapse into the first one's replies and ping
+        checks dedupe per destination /24 — same reverse hops, a
+        fraction of the probes and spoof timeouts.
+        """
+        if not self.config.coalesce_batches:
+            return [self.measure(dst) for dst in dsts]
+        self._coalescer = _BatchCoalescer()
+        try:
+            return [self.measure(dst) for dst in dsts]
+        finally:
+            self._coalescer = None
 
     def measure(self, dst: Address) -> ReverseTracerouteResult:
         """Measure the reverse path from *dst* back to the source.
@@ -691,17 +787,15 @@ class RevtrEngine:
         if ev is not None:
             mid = ev.new_measurement_id()
             previous_mid = ev.set_current(mid)
-            ev.emit(
+            ev.emit_t(
                 "measure.begin",
-                src=str(self.source),
-                dst=str(dst),
-                variant=self.config.variant_name(),
+                (self._source_str, dst, self._variant_label),
             )
         try:
             with self.obs.span(
                 "revtr.measure",
                 src=str(self.source),
-                dst=str(dst),
+                dst=dst,
                 variant=self.config.variant_name(),
             ) as span:
                 result = self._measure(dst)
@@ -724,31 +818,62 @@ class RevtrEngine:
         self.cache.maybe_purge()
         self._m_intersects = 0
         self._m_retry_left = self.config.retry_budget
-        counts_before = Counter(self.prober.counter.counts)
+        # Ping-check outcome (None until checked); rides on the
+        # measure.end event instead of an event of its own — one ping
+        # is not worth a flight-recorder record per measurement.
+        self._m_ping = None
+        # Fixed-size position marker, not a Counter copy: the
+        # per-measurement probe delta must not scale with how many
+        # probe kinds the global counter has accumulated.
+        counts_before = self.prober.counter.mark()
 
         result = ReverseTracerouteResult(
             src=self.source, dst=dst, status=RevtrStatus.INCOMPLETE
         )
 
+        if self.segcache is not None:
+            fast = self._splice_full_path(
+                dst, result, start_time, counts_before
+            )
+            if fast is not None:
+                return fast
+
         if self.config.ping_check:
             # Annotated on the root span rather than opening a span of
             # its own: a single ping is not worth a tree node on the
             # measurement hot path.
-            alive = self.prober.ping(self.source, dst) is not None
-            attempts = 0
-            while (
-                not alive
-                and attempts < self.config.ping_retries
-                and self._retry_allowed("ping")
-            ):
-                attempts += 1
+            coalescer = self._coalescer
+            dst_prefix = (
+                prefix_of(dst) if coalescer is not None else None
+            )
+            alive = (
+                coalescer.ping_alive.get(dst_prefix)
+                if coalescer is not None
+                else None
+            )
+            if alive is not None:
+                # A sibling in the coalesced group already checked this
+                # destination prefix's liveness.
+                coalescer.pings_coalesced += 1
+            else:
                 alive = self.prober.ping(self.source, dst) is not None
+                attempts = 0
+                while (
+                    not alive
+                    and attempts < self.config.ping_retries
+                    and self._retry_allowed("ping")
+                ):
+                    attempts += 1
+                    alive = (
+                        self.prober.ping(self.source, dst) is not None
+                    )
+                if coalescer is not None:
+                    coalescer.ping_alive[dst_prefix] = alive
+            self._m_ping = alive
             if self._obs_on:
                 root = self.obs.tracer.active_span
                 if root is not None:
                     root.annotate(ping_check=alive)
-                if self._ev is not None:
-                    self._ev.emit("measure.ping_check", alive=alive)
             if not alive:
                 result.status = RevtrStatus.UNRESPONSIVE
                 self._finish(result, start_time, counts_before)
@@ -788,7 +913,7 @@ class RevtrEngine:
                     self._t_stale += 1
                 self.atlas.mark_useful(hit.vp)
                 with self.obs.span(
-                    "stitch", vp=str(hit.vp), index=hit.index
+                    "stitch", vp=hit.vp, index=hit.index
                 ) as stitch:
                     before = len(hops)
                     for addr in self.atlas.suffix(hit):
@@ -807,17 +932,105 @@ class RevtrEngine:
                         stale=result.stale_intersection,
                     )
                 if self._ev is not None:
-                    self._ev.emit(
+                    self._ev.emit_t(
                         "stitch",
-                        vp=str(hit.vp),
-                        index=hit.index,
-                        hops=len(hops) - before,
-                        stale=result.stale_intersection,
+                        (hit.vp, hit.index, len(hops) - before,
+                         result.stale_intersection),
                     )
                 status = RevtrStatus.COMPLETE
                 break
 
-            revealed, technique = self._rr_step(current)
+            revealed: List[Address] = []
+            technique = HopTechnique.SPOOFED_RR
+            skip_rr = False
+            if self.segcache is not None:
+                # The atlas missed; before spending probes, splice any
+                # chain of reverse hops that an earlier completed
+                # measurement toward this source already revealed from
+                # here.  Generation/TTL invalidation happens inside the
+                # lookup; the seen-set stop keeps splices loop-free.
+                limit = self.config.max_path_hops - len(hops)
+                chain, known_dead = self.segcache.chain(
+                    current, limit, stop=seen.__contains__
+                )
+                if known_dead:
+                    # Cached negative entry: this router recently
+                    # ignored the entire RR arsenal — skip straight to
+                    # the TS/fallback steps instead of re-aiming the
+                    # VP fleet at it.
+                    skip_rr = True
+                    if self._ev is not None:
+                        self._ev.emit_t(
+                            "splice.negative", (current,)
+                        )
+                elif chain:
+                    addrs = [entry.next_hop for entry in chain]
+                    if (
+                        self.config.detect_violations
+                        and len(addrs) >= 2
+                    ):
+                        # Spliced chains earn the same Appendix E
+                        # redundant-probe gating as RR-revealed hops:
+                        # reuse must ride behind the violation check,
+                        # not around it.
+                        suspect = self._violation_check(addrs)
+                        if suspect is not None:
+                            result.suspected_violations.append(suspect)
+                    terminated = False
+                    next_current: Optional[Address] = None
+                    spliced_before = len(hops)
+                    for entry in chain:
+                        addr = entry.next_hop
+                        if addr == source:
+                            hops.append(
+                                ReverseHop(source, HopTechnique.SOURCE)
+                            )
+                            status = RevtrStatus.COMPLETE
+                            terminated = True
+                            break
+                        hops.append(
+                            ReverseHop(
+                                addr,
+                                entry.technique,
+                                assumed_link=entry.assumed_link,
+                            )
+                        )
+                        seen.add(addr)
+                        if not is_private(addr):
+                            next_current = addr
+                    # Mid-chain hops are provably non-terminal: the
+                    # completed measurement that stored them continued
+                    # past them (a terminal hop would have ended that
+                    # path with a cached hop -> source edge, which the
+                    # loop above adopts).  Only a partial chain's last
+                    # hop needs the alias-of-source check, so the
+                    # per-hop ``_is_terminal`` scan collapses to one.
+                    if (
+                        not terminated
+                        and next_current is not None
+                        and self._is_terminal(next_current)
+                    ):
+                        hops.append(
+                            ReverseHop(source, HopTechnique.SOURCE)
+                        )
+                        status = RevtrStatus.COMPLETE
+                        terminated = True
+                    spliced = len(hops) - spliced_before
+                    self.segcache.note_splice(spliced)
+                    if self._ev is not None:
+                        self._ev.emit_t(
+                            "splice", (current, spliced, terminated)
+                        )
+                    if terminated:
+                        break
+                    if next_current is not None:
+                        current = next_current
+                        continue
+                    # Every spliced hop was private: fall through to
+                    # the RR step from the pre-splice current hop.
+
+            if not skip_rr:
+                revealed, technique = self._rr_step(current)
             fresh = [addr for addr in revealed if addr not in seen]
             if (
                 fresh
@@ -844,14 +1057,18 @@ class RevtrEngine:
                         terminated = True
                         break
                 if self._ev is not None:
-                    self._ev.emit(
+                    self._ev.emit_t(
                         "hops.adopted",
-                        technique=technique.value,
-                        addrs=[
-                            str(hop.addr)
-                            for hop in hops[adopted_before:]
-                            if hop.technique is technique
-                        ],
+                        (
+                            technique._value_,
+                            tuple(
+                                [
+                                    hop.addr
+                                    for hop in hops[adopted_before:]
+                                    if hop.technique is technique
+                                ]
+                            ),
+                        ),
                     )
                 if terminated:
                     break
@@ -871,7 +1088,7 @@ class RevtrEngine:
                     continue
 
             with self.obs.span(
-                "symmetry.assume", hop=str(current)
+                "symmetry.assume", hop=current
             ) as sym_span:
                 outcome = self.symmetry.step(current)
                 sym_span.annotate(
@@ -916,7 +1133,7 @@ class RevtrEngine:
                     if self._ev is not None:
                         self._ev.emit(
                             "degrade.unresponsive",
-                            dst=str(dst),
+                            dst=dst,
                             hops_kept=len(hops),
                         )
                 break
@@ -955,20 +1172,78 @@ class RevtrEngine:
         self._finish(result, start_time, counts_before)
         return result
 
+    def _splice_full_path(
+        self,
+        dst: Address,
+        result: ReverseTracerouteResult,
+        start_time: float,
+        counts_before: tuple,
+    ) -> Optional[ReverseTracerouteResult]:
+        """Serve a measurement entirely from the segment cache.
+
+        When the cache holds an unbroken chain from *dst* all the way
+        to the source, every hop of the reverse path was adopted by an
+        earlier completed measurement inside the entry TTL — and that
+        measurement already verified the destination's liveness.
+        Re-running the ping check and the per-hop loop would re-derive
+        the same path one cache hit at a time, so the whole path is
+        spliced in one step for zero probes.  Any break in the chain —
+        miss, negative entry, generation bump, TTL expiry, a loop, or
+        a chain longer than the hop budget — returns None and the
+        normal measurement loop (ping check included) takes over.
+        """
+        chain, _ = self.segcache.chain(
+            dst, self.config.max_path_hops - 1
+        )
+        if not chain or chain[-1].next_hop != self.source:
+            return None
+        addrs = [entry.next_hop for entry in chain]
+        if self.config.detect_violations and len(addrs) >= 2:
+            # Whole-path reuse earns the same Appendix E gating as a
+            # mid-path splice: ride behind the violation check.
+            suspect = self._violation_check(addrs)
+            if suspect is not None:
+                result.suspected_violations.append(suspect)
+        hops: List[ReverseHop] = [
+            ReverseHop(dst, HopTechnique.DESTINATION)
+        ]
+        for entry in chain[:-1]:
+            hops.append(
+                ReverseHop(
+                    entry.next_hop,
+                    entry.technique,
+                    assumed_link=entry.assumed_link,
+                )
+            )
+        hops.append(ReverseHop(self.source, HopTechnique.SOURCE))
+        self.segcache.note_splice(len(chain))
+        if self._obs_on:
+            root = self.obs.tracer.active_span
+            if root is not None:
+                root.annotate(full_splice=True)
+        if self._ev is not None:
+            self._ev.emit_t(
+                "splice", (dst, len(chain), True, True)
+            )
+        result.hops = hops
+        result.status = RevtrStatus.COMPLETE
+        self._finish(result, start_time, counts_before)
+        return result
+
     def _finish(
         self,
         result: ReverseTracerouteResult,
         start_time: float,
-        counts_before: Counter,
+        counts_before: tuple,
     ) -> None:
         clock = self.prober.clock
         result.duration = clock.now() - start_time
-        after = self.prober.counter.counts
-        result.probe_counts = {
-            kind.value: after[kind] - counts_before[kind]
-            for kind in after
-            if after[kind] - counts_before[kind]
-        }
+        result.probe_counts = self.prober.counter.delta(counts_before)
+        if (
+            self.segcache is not None
+            and result.status is RevtrStatus.COMPLETE
+        ):
+            self._segcache_store(result.hops)
         if result.hops:
             result.flagged_as_path = flag_suspicious_links(
                 result.addresses(), self.ip2as, self.relationships
@@ -989,14 +1264,28 @@ class RevtrEngine:
             # actually spent, and the full path with per-hop technique
             # attribution (so `repro explain` can reconstruct the
             # decision record even if mid-flight events were dropped).
-            self._ev.emit(
+            self._ev.emit_t(
                 "measure.end",
-                status=status,
-                hops=len(result.hops),
-                duration=result.duration,
-                probes=dict(result.probe_counts),
-                path=[
-                    [str(hop.addr), hop.technique.value]
-                    for hop in result.hops
-                ],
+                (
+                    status,
+                    len(result.hops),
+                    result.duration,
+                    # None when no ping-check ran (disabled, or the
+                    # whole-path splice fast path skipped it).
+                    self._m_ping,
+                    dict(result.probe_counts),
+                    # Tuples, not lists: stored field payloads live in
+                    # the event ring, and all-atomic tuples (unlike
+                    # lists) let the GC untrack the whole record after
+                    # one scan.  ._value_ not .value: Enum.value goes
+                    # through a DynamicClassAttribute descriptor (~4x
+                    # the cost of a plain slot read), and this runs
+                    # once per hop per measurement.
+                    tuple(
+                        [
+                            (hop.addr, hop.technique._value_)
+                            for hop in result.hops
+                        ]
+                    ),
+                ),
             )

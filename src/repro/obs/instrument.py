@@ -263,6 +263,9 @@ class NullInstrumentation:
     ) -> None:
         pass
 
+    def emit_t(self, kind: str, values: tuple) -> None:
+        pass
+
 
 #: The process-wide null object.  Identity-compared by wiring code
 #: ("is the obs on this component still the default?"), so there should
@@ -351,6 +354,7 @@ class Instrumentation:
         self.span = self.tracer.span
         if self.events is not None:
             self.emit = self.events.emit
+            self.emit_t = self.events.emit_t
         self.register_collect_source(self._obs_self_collect)
 
     # -- pull-style collection ------------------------------------------
@@ -454,3 +458,9 @@ class Instrumentation:
         # recorder is disabled.
         if self.events is not None:
             self.events.emit(kind, _mid=_mid, **fields)
+
+    def emit_t(self, kind: str, values: tuple) -> None:
+        # Shadowed like ``emit`` above.  The tuple-payload fast path:
+        # *values* match ``events.TUPLE_FIELDS[kind]`` positionally.
+        if self.events is not None:
+            self.events.emit_t(kind, values)

@@ -13,12 +13,16 @@ Event kinds consumed here (all carry the measurement id):
 kind                      meaning / fields
 ========================  ====================================================
 ``measure.begin``         engine entered ``measure()``: src, dst, variant
-``measure.ping_check``    responsiveness probe: alive
 ``intersect``             atlas hit at a hop: hop, outcome=hit, via, vp,
                           index (misses are implied by the rr.step that
                           follows and synthesised by the narrative)
 ``intersect.refresh``     stale intersection re-measured online: hop, vp
 ``stitch``                atlas suffix adopted: vp, index, hops, stale
+``splice``                segment-cache chain adopted: hop, hops (count),
+                          to_source (implies a preceding atlas miss, like
+                          ``rr.step``), full_path (whole-path fast splice
+                          served before the loop -- implies no miss)
+``splice.negative``       segment-cache negative hit: hop (RR skipped)
 ``rr.step``               record-route attempt: hop, source=cache|direct|
                           spoofed|none, technique, revealed, batches
 ``rr.batch``              one spoofed batch: hop, batch, vps, responses, mode
@@ -29,7 +33,12 @@ kind                      meaning / fields
 ``cache.lookup``          measurement-cache hit/expiry: kind, outcome
                           (misses are not recorded — they are the common
                           case and the step events already imply them)
-``measure.end``           engine done: status, hops, duration, probes, path
+``measure.end``           engine done: status, hops, duration, probes,
+                          path, ping (responsiveness-check outcome; None
+                          when no check ran -- the check is always the
+                          first engine action, so the narrative renders
+                          it as step 1 rather than spending a
+                          flight-recorder record per measurement on it)
 ``sched.*``               scheduler transitions (submit/start/retry/done)
 ``service.request``       service-level request record: user, status
 ========================  ====================================================
@@ -98,19 +107,27 @@ class ProvenanceLedger:
         for event in self._all("cache.lookup"):
             outcome = event.fields.get("outcome", "?")
             cache[outcome] = cache.get(outcome, 0) + 1
-        # Every rr.step implies a preceding atlas miss (the engine only
-        # falls through to RR after the intersection failed), so misses
-        # are reconstructed instead of stored.
+        # Every rr.step (and segment splice) implies a preceding atlas
+        # miss (the engine only falls through after the intersection
+        # failed), so misses are reconstructed instead of stored.
         hits = [
             e
             for e in self._all("intersect")
             if e.fields.get("outcome") == "hit"
         ]
-        implied_misses = len(self._all("rr.step"))
+        implied_misses = len(self._implied_miss_seqs())
         fallbacks: Dict[str, int] = {}
         for event in self._all("fallback"):
             outcome = event.fields.get("outcome", "?")
             fallbacks[outcome] = fallbacks.get(outcome, 0) + 1
+        splice_events = self._all("splice")
+        splices = {
+            "chains": len(splice_events),
+            "hops": sum(
+                e.fields.get("hops", 0) for e in splice_events
+            ),
+            "negative_hits": len(self._all("splice.negative")),
+        }
         out: Dict[str, Any] = {
             "mid": self.mid,
             "events": len(self.events),
@@ -126,9 +143,37 @@ class ProvenanceLedger:
             "intersect_hits": len(hits),
             "cache": cache,
             "fallbacks": fallbacks,
+            "splices": splices,
             "spoofed_batches": len(self._all("rr.batch")),
         }
         return out
+
+    def _implied_miss_seqs(self) -> set:
+        """Seqs of events that stand in for an unrecorded atlas miss.
+
+        Both ``rr.step`` and the ``splice``/``splice.negative`` pair
+        only happen after the intersection failed at that hop.  An
+        all-private splice falls through to an ``rr.step`` at the SAME
+        hop — one real miss, two candidate events — so an ``rr.step``
+        immediately downstream of a splice at its own hop is excluded.
+        """
+        seqs: set = set()
+        pending_splice_hop: Optional[Any] = None
+        for event in self.events:
+            if event.kind in ("splice", "splice.negative"):
+                # A whole-path splice short-circuits the measurement
+                # loop before any intersection attempt, so it implies
+                # no miss.
+                if not event.fields.get("full_path"):
+                    seqs.add(event.seq)
+                pending_splice_hop = event.fields.get("hop")
+            elif event.kind == "rr.step":
+                if event.fields.get("hop") != pending_splice_hop:
+                    seqs.add(event.seq)
+                pending_splice_hop = None
+            elif event.kind == "intersect":
+                pending_splice_hop = None
+        return seqs
 
     # -- narrative ------------------------------------------------------
 
@@ -141,11 +186,26 @@ class ProvenanceLedger:
         lines.append("")
         lines.append("decision path:")
         step = 0
+        # The ping check is chronologically the engine's first action
+        # but rides on the measure.end event (no record of its own);
+        # synthesise it as step 1.
+        end = self._first("measure.end")
+        if end is not None and end.fields.get("ping") is not None:
+            step += 1
+            lines.append(
+                "  {0:3d}. ping check: destination {1}".format(
+                    step,
+                    "responsive"
+                    if end.fields["ping"]
+                    else "unresponsive -- giving up",
+                )
+            )
+        miss_seqs = self._implied_miss_seqs()
         for event in self.events:
-            # The engine only reaches an rr step after the atlas
-            # missed; the miss is implied rather than emitted, so the
-            # narrative synthesises it here.
-            if event.kind == "rr.step":
+            # The engine only reaches an rr step (or a segment splice)
+            # after the atlas missed; the miss is implied rather than
+            # emitted, so the narrative synthesises it here.
+            if event.seq in miss_seqs:
                 step += 1
                 hop = event.fields.get("hop", "?")
                 lines.append(
@@ -223,11 +283,6 @@ class ProvenanceLedger:
             return None  # header
         if kind == "measure.end":
             return None  # footer
-        if kind == "measure.ping_check":
-            alive = f.get("alive")
-            return "ping check: destination {0}".format(
-                "responsive" if alive else "unresponsive -- giving up"
-            )
         if kind == "intersect":
             if f.get("outcome") == "hit":
                 return (
@@ -258,6 +313,29 @@ class ProvenanceLedger:
                     vp=f.get("vp", "?"),
                     stale=stale,
                 )
+            )
+        if kind == "splice":
+            if f.get("full_path"):
+                return (
+                    "whole-path splice from destination {hop}: "
+                    "served {hops} cached reverse hop(s), zero probes"
+                    .format(hop=f.get("hop", "?"), hops=f.get("hops", "?"))
+                )
+            tail = (
+                " -- path complete" if f.get("to_source") else ""
+            )
+            return (
+                "segment splice at {hop}: adopted {hops} cached "
+                "reverse hop(s){tail}".format(
+                    hop=f.get("hop", "?"),
+                    hops=f.get("hops", "?"),
+                    tail=tail,
+                )
+            )
+        if kind == "splice.negative":
+            return (
+                "segment splice at {hop}: cached negative entry -- "
+                "skipping record-route".format(hop=f.get("hop", "?"))
             )
         if kind == "rr.step":
             source = f.get("source", "?")

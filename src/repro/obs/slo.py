@@ -98,6 +98,16 @@ def _family_counts(
     return out
 
 
+def _family_total(snapshot: Dict[str, Any], name: str) -> float:
+    """Sum of every series value in one family (0.0 if absent)."""
+    family = snapshot.get(name)
+    if not family:
+        return 0.0
+    return sum(
+        series.get("value", 0.0) for series in family.get("series", [])
+    )
+
+
 def slo_summary(
     snapshot: Dict[str, Any],
     quantiles: Sequence[float] = DEFAULT_QUANTILES,
@@ -170,6 +180,50 @@ def slo_summary(
         latencies[label] = entry
     out["latency"] = latencies
 
+    # Amortization: how much repeated work the caches absorbed.  Both
+    # rates read 0 lookups (and stay hidden) unless the corresponding
+    # feature ran, so the section only appears when it is meaningful.
+    amortization: Dict[str, Any] = {}
+    cache_outcomes = _family_counts(
+        snapshot, "cache_lookups_total", "outcome"
+    )
+    cache_lookups = sum(cache_outcomes.values())
+    if cache_lookups:
+        cache_hits = cache_outcomes.get("hit", 0.0)
+        amortization["measurement cache"] = {
+            "lookups": cache_lookups,
+            "hits": cache_hits,
+            "hit_rate": cache_hits / cache_lookups,
+            "expired": cache_outcomes.get("expired", 0.0),
+        }
+    segment_hits = _family_counts(
+        snapshot, "revtr_segment_hits_total", "kind"
+    )
+    segment_misses = _family_total(
+        snapshot, "revtr_segment_misses_total"
+    )
+    segment_lookups = sum(segment_hits.values()) + segment_misses
+    if segment_lookups:
+        hit_total = sum(segment_hits.values())
+        amortization["segment cache"] = {
+            "lookups": segment_lookups,
+            "hits": hit_total,
+            "hit_rate": hit_total / segment_lookups,
+            "negative_hits": segment_hits.get("negative", 0.0),
+            "splices": _family_total(
+                snapshot, "revtr_segment_splices_total"
+            ),
+            "invalidations": sum(
+                _family_counts(
+                    snapshot,
+                    "revtr_segment_invalidations_total",
+                    "reason",
+                ).values()
+            ),
+        }
+    if amortization:
+        out["amortization"] = amortization
+
     rejections = _family_counts(
         snapshot, "service_rejections_total", "reason"
     )
@@ -206,6 +260,25 @@ def format_slo(summary: Dict[str, Any]) -> str:
                     attempts=int(entry.get("attempts", 0)),
                     rate=entry.get("success_rate", 0.0),
                     hops=int(entry.get("hops", 0)),
+                )
+            )
+    amortization = summary.get("amortization", {})
+    if amortization:
+        lines.append("amortization (cache reuse):")
+        for label, entry in amortization.items():
+            extra = ""
+            if "splices" in entry:
+                extra = "  splices={splices}  invalidated={inv}".format(
+                    splices=int(entry.get("splices", 0)),
+                    inv=int(entry.get("invalidations", 0)),
+                )
+            lines.append(
+                "  {label:<22s} lookups={lookups:<6d} "
+                "hit rate={rate:.1%}{extra}".format(
+                    label=label,
+                    lookups=int(entry.get("lookups", 0)),
+                    rate=entry.get("hit_rate", 0.0),
+                    extra=extra,
                 )
             )
     latency = summary.get("latency", {})

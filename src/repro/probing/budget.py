@@ -14,6 +14,9 @@ from typing import Dict, Iterable, Optional
 
 from repro.net.packet import ProbeKind
 
+#: ProbeKind -> position in a :meth:`ProbeCounter.mark` tuple.
+_KIND_INDEX = {kind: index for index, kind in enumerate(ProbeKind)}
+
 
 @dataclass
 class ProbeCounter:
@@ -26,6 +29,32 @@ class ProbeCounter:
         self.counts[kind] += n
         if self.parent is not None:
             self.parent.record(kind, n)
+
+    def mark(self) -> tuple:
+        """Cheap fixed-size position marker for later :meth:`delta`.
+
+        A tuple of per-kind totals in :class:`ProbeKind` declaration
+        order — O(#kinds) ints, no dict copy, so per-measurement
+        snapshots don't scale with how big the counter map has grown.
+        (``Counter.__missing__`` returns 0 without inserting, so
+        marking never mutates the counter.)
+        """
+        counts = self.counts
+        return tuple(counts[kind] for kind in ProbeKind)
+
+    def delta(self, mark: tuple) -> Dict[str, int]:
+        """Nonzero per-kind growth since *mark*, keyed by kind value.
+
+        Iterates the live counter in its own insertion order — the
+        same order the previous ``Counter``-copy implementation
+        produced — so downstream dict/JSON ordering is unchanged.
+        """
+        out: Dict[str, int] = {}
+        for kind, n in self.counts.items():
+            grew = n - mark[_KIND_INDEX[kind]]
+            if grew:
+                out[kind.value] = grew
+        return out
 
     def total(self) -> int:
         return sum(self.counts.values())

@@ -280,11 +280,13 @@ class Prober:
         if self.obs.enabled:
             # Batch-level only: per-probe events would dominate the
             # atlas pipeline's emit budget for no diagnostic gain.
-            self.obs.emit(
+            self.obs.emit_t(
                 "probe.batch",
-                kind="rr",
-                probes=len(results),
-                responses=sum(1 for r in results if r.responded),
+                (
+                    "rr",
+                    len(results),
+                    sum(1 for r in results if r.responded),
+                ),
             )
         return results
 
@@ -342,12 +344,14 @@ class Prober:
             for result in results:
                 self.health.record(result.vp, result.responded)
         if self.obs.enabled:
-            self.obs.emit(
+            self.obs.emit_t(
                 "probe.batch",
-                kind="spoofed-rr",
-                dst=str(dst),
-                probes=len(results),
-                responses=sum(1 for r in results if r.responded),
+                (
+                    "spoofed-rr",
+                    len(results),
+                    sum(1 for r in results if r.responded),
+                    dst,
+                ),
             )
         return results
 

@@ -17,6 +17,7 @@ from repro.asmap.ip2as import IPToASMapper
 from repro.asmap.relationships import ASRelationships
 from repro.core.revtr import EngineConfig, RevtrEngine
 from repro.core.result import ReverseTracerouteResult
+from repro.core.segcache import ReverseSegmentCache
 from repro.net.addr import Address
 from repro.obs.runtime import get_default, introspect
 from repro.probing.prober import Prober
@@ -65,6 +66,13 @@ class RevtrService:
         self.users = UserDatabase(prober.clock)
         self.store = MeasurementStore()
         self._engines: Dict[Address, RevtrEngine] = {}
+        #: per-source reverse-segment caches (only populated when the
+        #: engine config enables ``segment_cache``).  Deliberately NOT
+        #: dropped by :meth:`_invalidate_engine`: segments survive
+        #: engine rebuilds because generation/TTL invalidation already
+        #: governs their validity, so a re-registered source keeps the
+        #: amortization it earned.
+        self._segcaches: Dict[Address, ReverseSegmentCache] = {}
         self._engines_lock = threading.Lock()
         # A re-registered source gets a rebuilt atlas/RR atlas; drop
         # any engine built against the old one so requests never keep
@@ -116,6 +124,14 @@ class RevtrService:
                 registered = self.registry.sources.get(source)
                 if registered is None:
                     raise KeyError(f"source {source} not registered")
+                segcache = None
+                if self.engine_config.segment_cache:
+                    segcache = self._segcaches.get(source)
+                    if segcache is None:
+                        segcache = ReverseSegmentCache(
+                            self.prober.clock, self.prober.internet
+                        )
+                        self._segcaches[source] = segcache
                 engine = RevtrEngine(
                     prober=self.prober,
                     source=source,
@@ -128,6 +144,7 @@ class RevtrService:
                     resolver=self.resolver,
                     spoofers=self.registry.spoofer_vps,
                     instrumentation=self.obs,
+                    segcache=segcache,
                 )
                 self._engines[source] = engine
             return engine
@@ -144,6 +161,46 @@ class RevtrService:
         ) as span:
             result = engine.measure(dst)
             span.annotate(status=result.status.value)
+        self._account(engine, result, dst, user_name, label)
+        return result
+
+    def _measure_group(
+        self,
+        engine: RevtrEngine,
+        items: Sequence[tuple],
+    ) -> List[ReverseTracerouteResult]:
+        """Run a coalesced group through :meth:`RevtrEngine.measure_many`.
+
+        *items* is a sequence of ``(dst, user_name, label)`` triples;
+        every result gets the same per-request accounting (ledger
+        event, metrics, archive entry) as :meth:`_measure_one`, under
+        one ``service.request_group`` span instead of per-request
+        spans (the group executes as a unit, so per-request wall time
+        is not individually attributable).
+        """
+        dsts = [dst for dst, _, _ in items]
+        with self.obs.span(
+            "service.request_group",
+            src=str(engine.source),
+            size=len(items),
+        ) as span:
+            results = engine.measure_many(dsts)
+            span.annotate(
+                statuses=[r.status.value for r in results]
+            )
+        for (dst, user_name, label), result in zip(items, results):
+            self._account(engine, result, dst, user_name, label)
+        return results
+
+    def _account(
+        self,
+        engine: RevtrEngine,
+        result: ReverseTracerouteResult,
+        dst: Address,
+        user_name: str,
+        label: str,
+    ) -> None:
+        """Per-request ledger/metrics/archive bookkeeping."""
         if self.obs.enabled:
             # Service-level ledger entry, correlated to the engine's
             # measurement id so `repro explain` sees who asked.
@@ -188,7 +245,6 @@ class RevtrService:
             requested_at=self.prober.clock.now(),
             label=label,
         )
-        return result
 
     def request(
         self, request: MeasurementRequest
@@ -213,9 +269,21 @@ class RevtrService:
         Quota is charged per measurement, immediately before it runs:
         if the engine fails (or quota runs out) mid-batch, the user is
         never charged for measurements that were not attempted.
+
+        With ``coalesce_batches`` on in the engine config, the whole
+        batch is charged up front and executed as one coalesced
+        :meth:`RevtrEngine.measure_many` group — duplicate spoofed
+        batches and ping checks across the batch collapse.
         """
         user = self.users.authenticate(api_key)
         engine = self._engine_for(src)
+        if self.engine_config.coalesce_batches:
+            now = self.prober.clock.now()
+            for _ in dsts:
+                user.charge(now)
+            return self._measure_group(
+                engine, [(dst, user.name, label) for dst in dsts]
+            )
         results: List[ReverseTracerouteResult] = []
         for dst in dsts:
             user.charge(self.prober.clock.now())
@@ -249,6 +317,8 @@ class RevtrService:
             f"engine[{source}]": engine.cache
             for source, engine in self._engines.items()
         }
+        for source, segcache in self._segcaches.items():
+            caches[f"segments[{source}]"] = segcache
         return introspect(
             instrumentation=self.obs,
             probe_counters={"prober": self.prober.counter},

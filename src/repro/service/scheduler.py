@@ -82,6 +82,12 @@ class SchedulerConfig:
     max_retries: int = 0
     #: base backoff before the first retry; doubles per attempt
     retry_backoff: float = 60.0
+    #: virtual mode: execute same-source jobs that are admissible at
+    #: the same instant as one coalesced
+    #: :meth:`~repro.core.revtr.RevtrEngine.measure_many` group (group
+    #: size bounded by simultaneously-free lanes).  Threaded mode
+    #: ignores this — its jobs arrive at the engine one at a time.
+    coalesce: bool = False
 
 
 @dataclass
@@ -371,6 +377,8 @@ class RequestScheduler:
                 # but a stall must not become an infinite loop.
                 return None
             self._lanes[lane] = nxt
+        if self.config.coalesce:
+            return self._execute_group(job, user, lane, t)
         return self._execute_virtual(job, user, lane, t)
 
     def _pick(self, t: float) -> Optional[Tuple[Job, User]]:
@@ -412,9 +420,10 @@ class RequestScheduler:
                     candidates.append(f)
         return min(candidates) if candidates else None
 
-    def _execute_virtual(
-        self, job: Job, user: User, lane: int, t: float
-    ) -> Job:
+    def _admit_virtual(self, job: Job, user: User, t: float) -> bool:
+        """Start-time checks shared by solo and group execution:
+        deadline at start, then quota.  Returns False when the job was
+        rejected."""
         cfg = self.config
         job.started_at = t
         self._note_started(job)
@@ -423,12 +432,19 @@ class RequestScheduler:
             and t - job.submitted_at > cfg.deadline
         ):
             self._reject(job, RejectReason.DEADLINE)
-            return job
+            return False
         try:
             user.charge(t)
         except QuotaExceeded as exc:
             job.error = str(exc)
             self._reject(job, RejectReason.QUOTA)
+            return False
+        return True
+
+    def _execute_virtual(
+        self, job: Job, user: User, lane: int, t: float
+    ) -> Job:
+        if not self._admit_virtual(job, user, t):
             return job
         try:
             engine = self.service._engine_for(job.src)
@@ -439,6 +455,18 @@ class RequestScheduler:
             job.error = f"{type(exc).__name__}: {exc}"
             self._reject(job, RejectReason.ERROR)
             return job
+        return self._complete_virtual(job, user, lane, t, result)
+
+    def _complete_virtual(
+        self,
+        job: Job,
+        user: User,
+        lane: int,
+        t: float,
+        result: ReverseTracerouteResult,
+    ) -> Job:
+        """Finish-side bookkeeping for a job started at instant *t*."""
+        cfg = self.config
         job.result = result
         finish = t + result.duration
         job.finished_at = finish
@@ -506,6 +534,84 @@ class RequestScheduler:
             # tallied, not retroactively cancelled.
             job.deadline_exceeded = True
             self.deadline_overruns += 1
+        return job
+
+    def _pick_same_src(
+        self, t: float, src: Address
+    ) -> Optional[Tuple[Job, User]]:
+        """Like :meth:`_pick`, restricted to jobs toward *src* (one
+        coalesced group runs through one per-source engine)."""
+        order = self._user_order
+        for offset in range(len(order)):
+            idx = (self._rr_index + offset) % len(order)
+            name = order[idx]
+            queue = self._queues[name]
+            if not queue:
+                continue
+            job = queue[0]
+            if job.src != src:
+                continue
+            if job.eligible_at > t:
+                continue
+            if self._inflight_at(name, t) >= self._users[name].max_parallel:
+                continue
+            queue.popleft()
+            self._rr_index = (idx + 1) % len(order)
+            self._queue_depth_changed()
+            return job, self._users[name]
+        return None
+
+    def _execute_group(
+        self, job: Job, user: User, lane: int, t: float
+    ) -> Job:
+        """Coalesced execution: fill every lane free at instant *t*
+        with same-source admissible jobs and run them as one
+        :meth:`~repro.core.revtr.RevtrEngine.measure_many` group.
+
+        Admission semantics are per job (deadline/quota checks, typed
+        rejections, retry scheduling all match solo execution); only
+        the probing is shared.  Each job's virtual finish is
+        ``t + its own duration`` — the group starts together, like N
+        lanes of a real deployment hitting the same engine at once.
+        """
+        inf = float("inf")
+        group: List[Tuple[Job, User, int]] = [(job, user, lane)]
+        # Reserve an in-flight slot per picked job so per-user parallel
+        # caps hold across the whole group, not just the first pick.
+        self._inflight_finish[user.name].append(inf)
+        for other in range(len(self._lanes)):
+            if other == lane or self._lanes[other] > t:
+                continue
+            picked = self._pick_same_src(t, job.src)
+            if picked is None:
+                break
+            self._inflight_finish[picked[1].name].append(inf)
+            group.append((picked[0], picked[1], other))
+        for _job, _user, _lane in group:
+            self._inflight_finish[_user.name].remove(inf)
+        admitted = [
+            entry
+            for entry in group
+            if self._admit_virtual(entry[0], entry[1], t)
+        ]
+        if not admitted:
+            return job
+        try:
+            engine = self.service._engine_for(job.src)
+            results = self.service._measure_group(
+                engine,
+                [
+                    (_job.dst, _user.name, _job.label)
+                    for _job, _user, _lane in admitted
+                ],
+            )
+        except Exception as exc:  # typed, never kills the batch
+            for _job, _user, _lane in admitted:
+                _job.error = f"{type(exc).__name__}: {exc}"
+                self._reject(_job, RejectReason.ERROR)
+            return job
+        for (_job, _user, _lane), result in zip(admitted, results):
+            self._complete_virtual(_job, _user, _lane, t, result)
         return job
 
     # ------------------------------------------------------------------

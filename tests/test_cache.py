@@ -114,6 +114,46 @@ class TestCache:
         assert cache.get("k") == 2
 
 
+class TestNegativeTTL:
+    def test_negative_entries_expire_sooner(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(clock, ttl=100, negative_ttl=10)
+        cache.put("pos", 1)
+        cache.put("neg", (), negative=True)
+        clock.advance(11)
+        # The negative entry is past its own TTL; the positive one is
+        # still well inside the default.
+        assert cache.get("neg") is None
+        assert cache.get("pos") == 1
+        assert cache.stats.expirations == 1
+        assert cache.stats.hits == 1
+
+    def test_negative_without_split_uses_default_ttl(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(clock, ttl=100)
+        cache.put("neg", (), negative=True)
+        clock.advance(50)
+        assert cache.get("neg") == ()
+
+    def test_purge_respects_per_entry_ttl(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(clock, ttl=100, negative_ttl=10)
+        cache.put("pos", 1)
+        cache.put("neg", (), negative=True)
+        clock.advance(11)
+        assert cache.purge_expired() == 1
+        assert len(cache) == 1
+        assert cache.contains_fresh("pos")
+
+    def test_overwrite_flips_ttl_class(self):
+        clock = VirtualClock()
+        cache = MeasurementCache(clock, ttl=100, negative_ttl=10)
+        cache.put("k", (), negative=True)
+        cache.put("k", 7)  # now a positive result
+        clock.advance(50)
+        assert cache.get("k") == 7
+
+
 class TestBoundedCache:
     def test_lru_eviction_at_capacity(self):
         clock = VirtualClock()
