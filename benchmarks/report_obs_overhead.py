@@ -53,7 +53,7 @@ sys.path.insert(
 )
 
 from repro.experiments import Scenario  # noqa: E402
-from repro.obs import Instrumentation  # noqa: E402
+from repro.obs import Instrumentation, install_sampler  # noqa: E402
 from repro.topology import TopologyConfig  # noqa: E402
 
 SEED = 11
@@ -86,12 +86,20 @@ def build(instrumentation):
 
 
 def make(variant: int):
-    """Build variant 0 (null), 1 (metrics+tracer), or 2 (full)."""
+    """Build variant 0 (null), 1 (metrics+tracer), or 2 (full).
+
+    The full variant also carries an installed (idle, wall-interval)
+    time-series sampler, matching production where ``repro serve
+    --http`` keeps one attached: sampling is pull-style, so an
+    installed sampler must not show up on the measurement hot path.
+    """
     if variant == 0:
         return build(None)
     if variant == 1:
         return build(Instrumentation(event_capacity=0))
-    return build(Instrumentation())
+    instr = Instrumentation()
+    install_sampler(instr, sim_interval=None, wall_interval=3600.0)
+    return build(instr)
 
 
 def run_sweep(sweep: int):

@@ -32,7 +32,22 @@ Commands:
   injection (packet loss, ICMP rate limiting, VP outages, spoofed
   black-holes) and report how gracefully the system degraded
   (``--preset`` scenarios seeded by ``--seed``; ``--plan`` replays a
-  saved JSON plan bit-for-bit).
+  saved JSON plan bit-for-bit);
+* ``health`` — one-command diagnosis: run a (faulted) workload with
+  the telemetry sampler on, evaluate windowed health rules, and
+  report typed findings each citing the flight-recorder events and
+  metric windows behind it (``--json`` for machines);
+* ``top`` — live refreshing terminal dashboard (rates with
+  sparklines, SLO rollup, health findings) over a background
+  measurement workload;
+* ``benchdiff`` — compare two or more ``BENCH_*.json`` artifacts,
+  gating regressions beyond ``--threshold`` percent (non-zero exit);
+  wall-clock keys are reported but never gated.
+
+``stats --watch SECONDS`` re-renders the stats/SLO view in place
+while a workload runs, and ``serve --http PORT`` exposes
+``/metrics``, ``/metrics.json``, ``/health`` and ``/timeseries``
+over HTTP while the scheduler demo executes.
 """
 
 from __future__ import annotations
@@ -214,6 +229,15 @@ def _cmd_survey(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs.exposition import render_text
 
+    if args.watch is not None and args.from_file:
+        print(
+            "error: --watch re-renders a live workload; it cannot be "
+            "combined with --from FILE",
+            file=sys.stderr,
+        )
+        return 2
+    if args.watch is not None:
+        return _stats_watch(args)
     if args.from_file:
         try:
             with open(args.from_file) as fh:
@@ -263,6 +287,63 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(format_slo(slo_summary(instr.registry.snapshot())))
     else:
         print(instr.registry.render_prometheus(), end="")
+    return 0
+
+
+def _stats_watch(args: argparse.Namespace) -> int:
+    """``stats --watch``: re-render the stats/SLO view in place while
+    a workload runs, sharing the ``repro top`` renderer machinery."""
+    import threading
+
+    from repro.obs.dashboard import live_view, render_top
+    from repro.obs.exposition import render_text
+    from repro.obs.timeseries import install_sampler
+
+    instr = Instrumentation()
+    sampler = install_sampler(instr, sim_interval=args.sample_interval)
+    scenario = _scenario(args, instrumentation=instr)
+    source = scenario.sources()[args.source_index]
+    engine = scenario.engine(
+        source,
+        args.variant,
+        config=_amortization_config(scenario, args),
+    )
+    dsts = scenario.responsive_destinations(
+        args.count, options_only=True
+    )
+    stop = threading.Event()
+
+    def workload() -> None:
+        for dst in dsts:
+            if stop.is_set():
+                return
+            engine.measure(dst)
+
+    worker = threading.Thread(
+        target=workload, name="repro-stats-workload", daemon=True
+    )
+    worker.start()
+
+    def frame():
+        sampler.sample()
+        snapshot = instr.registry.snapshot()
+        if args.slo:
+            latest = sampler.latest
+            text = render_top(
+                snapshot,
+                sampler=sampler,
+                title="repro stats --slo",
+                now_sim=latest.sim if latest is not None else None,
+            )
+        else:
+            text = render_text(snapshot).rstrip("\n")
+        return text, not worker.is_alive()
+
+    try:
+        live_view(frame, args.watch, max_frames=args.frames)
+    finally:
+        stop.set()
+        worker.join(timeout=10)
     return 0
 
 
@@ -523,6 +604,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     instr = Instrumentation()
+    if args.http is not None or args.timeseries_out:
+        from repro.obs.timeseries import install_sampler
+
+        install_sampler(instr, sim_interval=args.sample_interval)
     scenario = _scenario(args, instrumentation=instr)
     registry = SourceRegistry(
         scenario.internet,
@@ -568,6 +653,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             coalesce=args.coalesce,
         )
     )
+    http_server = None
+    if args.http is not None:
+        from repro.obs.httpd import ObsHTTPServer
+
+        http_server = ObsHTTPServer(
+            instr, sampler=instr.sampler, port=args.http
+        ).start()
+        print(
+            f"obs endpoint: {http_server.url} "
+            f"(/metrics, /metrics.json, /health, /timeseries)",
+            file=sys.stderr,
+        )
     for user in users:
         for dst in destinations:
             scheduler.submit(user.api_key, dst, source)
@@ -598,12 +695,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for name, peak in doc["peak_inflight"].items():
             cap = service.users.get(name).max_parallel
             print(f"  {name}: peak {peak} in flight (cap {cap})")
+    if instr.sampler is not None:
+        instr.sampler.sample()
+        if args.timeseries_out:
+            with open(args.timeseries_out, "w") as fh:
+                fh.write(instr.sampler.export_json())
+                fh.write("\n")
+    if http_server is not None:
+        if args.http_hold > 0:
+            import time as _time
+
+            print(
+                f"holding the obs endpoint open for "
+                f"{args.http_hold:.0f}s (ctrl-C to stop) ...",
+                file=sys.stderr,
+            )
+            try:
+                _time.sleep(args.http_hold)
+            except KeyboardInterrupt:
+                pass
+        http_server.stop()
     _write_metrics(instr, args.metrics_out)
     _write_events(instr, args.events_out, rotate_bytes=args.events_rotate)
     return 0
 
 
-def _cmd_chaos(args: argparse.Namespace) -> int:
+def _fault_workload(args: argparse.Namespace, instr: Instrumentation):
+    """Build and run the faulted scheduler workload shared by
+    ``repro chaos`` and ``repro health``.
+
+    Construction order matches the original ``repro chaos`` wiring
+    exactly — the chaos plan-replay byte-identity tests depend on it.
+    Returns ``(scenario, source, plan, service, tracker, injector,
+    report, engine)``.
+    """
     from repro.core.revtr import EngineConfig
     from repro.service import (
         RevtrService,
@@ -612,7 +737,6 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     from repro.sim.faults import FaultPlan, preset_plan
 
-    instr = Instrumentation()
     scenario = _scenario(args, instrumentation=instr)
     source = scenario.sources()[args.source_index]
     if args.plan:
@@ -678,6 +802,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         scheduler.submit(user.api_key, dst, source)
     report = scheduler.run()
     engine = service._engine_for(source)
+    return (
+        scenario, source, plan, service, tracker, injector, report,
+        engine,
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    instr = Instrumentation()
+    (
+        scenario, source, plan, service, tracker, injector, report,
+        engine,
+    ) = _fault_workload(args, instr)
 
     if args.plan_out:
         with open(args.plan_out, "w") as fh:
@@ -716,6 +852,155 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
     _write_metrics(instr, args.metrics_out)
     _write_events(instr, args.events_out)
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.obs.health import (
+        HealthConfig,
+        HealthEngine,
+        format_findings,
+    )
+    from repro.obs.timeseries import install_sampler
+
+    instr = Instrumentation()
+    sampler = install_sampler(instr, sim_interval=args.sample_interval)
+    (
+        scenario, source, plan, service, tracker, injector, report,
+        engine,
+    ) = _fault_workload(args, instr)
+    # Close the last window so the final state is always in the ring.
+    sampler.sample()
+
+    config = HealthConfig()
+    if args.window is not None:
+        for attr in (
+            "slo_window", "cache_window", "retry_window",
+            "quarantine_window", "queue_window", "drops_window",
+            "atlas_window", "rejection_window",
+        ):
+            setattr(config, attr, args.window)
+    health = HealthEngine(config)
+    findings = health.evaluate(sampler, instr.events)
+    status = HealthEngine.status(findings)
+
+    if args.timeseries_out:
+        with open(args.timeseries_out, "w") as fh:
+            fh.write(sampler.export_json())
+            fh.write("\n")
+    doc = {
+        "preset": None if args.plan else args.preset,
+        "seed": args.seed,
+        "status": status,
+        "findings": [finding.to_dict() for finding in findings],
+        "timeseries": sampler.summary(),
+        "faults": injector.snapshot(),
+        "vp_health": tracker.snapshot(),
+        "engine_retries": dict(sorted(engine.retry_counts.items())),
+        "scheduler": report.as_dict(),
+    }
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        label = args.plan if args.plan else f"preset '{args.preset}'"
+        sched = doc["scheduler"]
+        print(
+            f"health check under {label}: "
+            f"{sched['completed']}/{sched['submitted']} requests "
+            f"completed, {doc['faults']['total']} faults injected, "
+            f"{doc['timeseries']['samples']} telemetry samples"
+        )
+        print(format_findings(findings, status))
+        if findings:
+            print(
+                "(inspect cited events with `repro events`; "
+                "`repro explain <mid>` narrates one measurement)"
+            )
+    _write_metrics(instr, args.metrics_out)
+    _write_events(instr, args.events_out)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.obs.dashboard import live_view, render_top
+    from repro.obs.health import HealthEngine
+    from repro.obs.timeseries import install_sampler
+
+    instr = Instrumentation()
+    sampler = install_sampler(instr, sim_interval=args.sample_interval)
+    scenario = _scenario(args, instrumentation=instr)
+    source = scenario.sources()[args.source_index]
+    engine = scenario.engine(
+        source,
+        args.variant,
+        config=_amortization_config(scenario, args),
+    )
+    pool = scenario.responsive_destinations(
+        args.count, options_only=True
+    )
+    health = HealthEngine()
+    stop = threading.Event()
+
+    def workload() -> None:
+        issued = 0
+        while issued < args.requests and not stop.is_set():
+            engine.measure(pool[issued % len(pool)])
+            issued += 1
+
+    worker = threading.Thread(
+        target=workload, name="repro-top-workload", daemon=True
+    )
+    worker.start()
+
+    def frame():
+        sampler.sample()
+        snapshot = instr.registry.snapshot()
+        findings = health.evaluate(sampler, instr.events)
+        latest = sampler.latest
+        text = render_top(
+            snapshot,
+            sampler=sampler,
+            findings=findings,
+            title=f"repro top — {args.requests} requests to {source}",
+            now_sim=latest.sim if latest is not None else None,
+        )
+        return text, not worker.is_alive()
+
+    try:
+        live_view(frame, args.interval, max_frames=args.frames)
+    finally:
+        stop.set()
+        worker.join(timeout=10)
+    return 0
+
+
+def _cmd_benchdiff(args: argparse.Namespace) -> int:
+    from repro.obs.benchdiff import diff_files, format_diff
+
+    try:
+        report = diff_files(
+            args.base, args.candidates, threshold_pct=args.threshold
+        )
+    except OSError as exc:
+        print(
+            f"error: cannot read benchmark file: {exc}", file=sys.stderr
+        )
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: invalid benchmark JSON: {exc}", file=sys.stderr)
+        return 2
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_diff(report, verbose=args.verbose))
+    if not report["ok"] and not args.report_only:
+        return 1
     return 0
 
 
@@ -826,6 +1111,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the SLO rollup (per-technique success rates, "
         "latency quantiles) instead of the raw exposition",
+    )
+    stats.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-render the view in place every SECONDS while a "
+        "fresh workload runs (shares the `repro top` renderer)",
+    )
+    stats.add_argument(
+        "--frames",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --watch: stop after N frames (default: until the "
+        "workload finishes)",
+    )
+    stats.add_argument(
+        "--sample-interval",
+        type=float,
+        default=15.0,
+        metavar="SIM_SECONDS",
+        help="with --watch: telemetry sampling interval on the "
+        "virtual clock",
     )
     stats.set_defaults(func=_cmd_stats)
 
@@ -1013,6 +1322,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="gzip-rotate the event log once it exceeds BYTES "
         "(FILE.1.gz, FILE.2.gz, ...)",
     )
+    serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the obs endpoint on PORT while the workload runs "
+        "(0 = ephemeral): /metrics (Prometheus text), /metrics.json, "
+        "/health, /timeseries",
+    )
+    serve.add_argument(
+        "--http-hold",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the obs endpoint up for SECONDS after the workload "
+        "finishes (for scraping the final state)",
+    )
+    serve.add_argument(
+        "--sample-interval",
+        type=float,
+        default=15.0,
+        metavar="SIM_SECONDS",
+        help="telemetry sampling interval on the virtual clock "
+        "(used with --http/--timeseries-out)",
+    )
+    serve.add_argument(
+        "--timeseries-out",
+        metavar="FILE",
+        help="write the sampled telemetry time-series to FILE (JSON)",
+    )
     _add_amortization_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -1074,6 +1413,143 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_amortization_flags(chaos)
     chaos.set_defaults(func=_cmd_chaos)
+
+    health = sub.add_parser(
+        "health",
+        help="one-command diagnosis: run a (faulted) workload, sample "
+        "the telemetry time-series, report typed health findings",
+    )
+    health.add_argument(
+        "--preset",
+        choices=(
+            "none", "loss", "rate-limit", "vp-flap", "blackhole",
+            "mixed",
+        ),
+        default="mixed",
+        help="named fault scenario (seeded by the global --seed); "
+        "'none' checks a healthy run",
+    )
+    health.add_argument(
+        "--plan", metavar="FILE",
+        help="replay a fault plan saved as JSON instead of a preset",
+    )
+    health.add_argument(
+        "--requests", type=int, default=8,
+        help="measurement requests submitted under faults",
+    )
+    health.add_argument(
+        "--parallel", type=int, default=2,
+        help="scheduler execution lanes",
+    )
+    health.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request queue-wait deadline (virtual seconds)",
+    )
+    health.add_argument(
+        "--retries", type=int, default=1,
+        help="scheduler retry budget for unresponsive destinations",
+    )
+    health.add_argument(
+        "--retry-budget", type=int, default=8,
+        help="engine-level technique retries per measurement",
+    )
+    health.add_argument(
+        "--quarantine", type=float, default=900.0,
+        help="VP quarantine window (virtual seconds)",
+    )
+    health.add_argument(
+        "--sample-interval", type=float, default=15.0,
+        metavar="SIM_SECONDS",
+        help="telemetry sampling interval on the virtual clock",
+    )
+    health.add_argument(
+        "--window", type=float, default=None,
+        metavar="SIM_SECONDS",
+        help="override every detector's evaluation window "
+        "(default: per-rule windows)",
+    )
+    health.add_argument("--source-index", type=int, default=0)
+    health.add_argument("--json", action="store_true")
+    health.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the metrics JSON snapshot to FILE",
+    )
+    health.add_argument(
+        "--events-out", metavar="FILE",
+        help="export the flight-recorder event log to FILE (JSONL)",
+    )
+    health.add_argument(
+        "--timeseries-out", metavar="FILE",
+        help="write the sampled telemetry time-series to FILE (JSON)",
+    )
+    _add_amortization_flags(health)
+    health.set_defaults(func=_cmd_health)
+
+    top = sub.add_parser(
+        "top",
+        help="live refreshing terminal dashboard over a running "
+        "measurement workload",
+    )
+    top.add_argument(
+        "--requests", type=int, default=30,
+        help="measurements the background workload issues",
+    )
+    top.add_argument(
+        "--count", type=int, default=10,
+        help="distinct destinations cycled by the workload",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        metavar="SECONDS",
+        help="wall-clock refresh interval between frames",
+    )
+    top.add_argument(
+        "--frames", type=int, default=0, metavar="N",
+        help="stop after N frames (default: until the workload "
+        "finishes)",
+    )
+    top.add_argument(
+        "--sample-interval", type=float, default=15.0,
+        metavar="SIM_SECONDS",
+        help="telemetry sampling interval on the virtual clock",
+    )
+    top.add_argument("--source-index", type=int, default=0)
+    top.add_argument("--variant", default="revtr2.0")
+    _add_amortization_flags(top)
+    top.set_defaults(func=_cmd_top)
+
+    benchdiff = sub.add_parser(
+        "benchdiff",
+        help="compare BENCH_*.json artifacts and flag regressions",
+    )
+    benchdiff.add_argument(
+        "base", help="baseline benchmark JSON (e.g. the committed one)"
+    )
+    benchdiff.add_argument(
+        "candidates", nargs="+",
+        help="one or more candidate benchmark JSON files",
+    )
+    benchdiff.add_argument(
+        "--threshold", type=float, default=20.0, metavar="PCT",
+        help="gated regression threshold in percent (default: 20)",
+    )
+    benchdiff.add_argument(
+        "--json", action="store_true",
+        help="machine-readable diff report",
+    )
+    benchdiff.add_argument(
+        "--verbose", action="store_true",
+        help="also list ungated (wall-clock/informational) changes",
+    )
+    benchdiff.add_argument(
+        "--report-out", metavar="FILE",
+        help="also write the JSON diff report to FILE",
+    )
+    benchdiff.add_argument(
+        "--report-only", action="store_true",
+        help="always exit 0, even when gated regressions were found",
+    )
+    benchdiff.set_defaults(func=_cmd_benchdiff)
     return parser
 
 

@@ -258,6 +258,7 @@ class RevtrEngine:
         self._source_str = str(source)
         if self._obs_on:
             self.obs.register_collect_source(self._obs_collect)
+            self.obs.register_gauge_source(self._obs_gauges)
         self.spoofers = list(spoofers)
         self.symmetry = SymmetryStepper(
             prober, ip2as, source, cache=self.cache
@@ -333,6 +334,34 @@ class RevtrEngine:
             if link is not None:
                 labels += (("link", link),)
             out[("revtr_fallbacks_total", labels)] = float(n)
+        return out
+
+    def _obs_gauges(self) -> Dict:
+        """Pull-style staleness gauges over the source's atlas.
+
+        Evaluated only at collection (snapshot/sample) time: ages are
+        derived from the traceroutes' stored timestamps against the
+        sim clock, so the measurement path never touches them.
+        """
+        out: Dict = {}
+        traceroutes = getattr(self.atlas, "traceroutes", None)
+        if not traceroutes:
+            return out
+        now = self.prober.clock.now()
+        ages = [
+            max(0.0, now - trace.timestamp)
+            for trace in traceroutes.values()
+        ]
+        source_label = (("source", self._source_str),)
+        out[("atlas_traceroutes_current", source_label)] = float(
+            len(ages)
+        )
+        out[
+            ("atlas_age_seconds", source_label + (("stat", "oldest"),))
+        ] = max(ages)
+        out[
+            ("atlas_age_seconds", source_label + (("stat", "mean"),))
+        ] = sum(ages) / len(ages)
         return out
 
     def _fallback(

@@ -24,11 +24,29 @@ The *flight recorder* adds a fourth layer: :mod:`repro.obs.events`
 with gzip rotation), :mod:`repro.obs.provenance` (per-measurement
 decision ledger behind ``repro explain``), and :mod:`repro.obs.slo`
 (histogram-derived SLO summaries for ``repro stats --slo``).
+
+The *time dimension* adds a fifth layer: :mod:`repro.obs.timeseries`
+(bounded ring of periodic registry snapshots with rate/window
+queries), :mod:`repro.obs.health` (rule-based detectors producing
+typed findings correlated to flight-recorder events),
+:mod:`repro.obs.dashboard` (``repro top`` / ``stats --watch``
+rendering), :mod:`repro.obs.httpd` (HTTP exposition endpoint for
+``repro serve --http``), and :mod:`repro.obs.benchdiff`
+(``BENCH_*.json`` regression diffing behind ``repro benchdiff``).
 """
 
+from repro.obs.benchdiff import diff_benchmarks, diff_files, format_diff
+from repro.obs.dashboard import live_view, render_top, sparkline
 from repro.obs.eventio import JsonlEventWriter, follow_jsonl, read_events
 from repro.obs.events import EVENT_SCHEMA_VERSION, Event, EventLog
 from repro.obs.exposition import render_text
+from repro.obs.health import (
+    HealthConfig,
+    HealthEngine,
+    HealthFinding,
+    format_findings,
+)
+from repro.obs.httpd import ObsHTTPServer
 from repro.obs.instrument import (
     NULL,
     BoundCounter,
@@ -49,7 +67,18 @@ from repro.obs.runtime import (
     introspect,
     set_default,
 )
-from repro.obs.slo import format_slo, slo_summary
+from repro.obs.slo import (
+    delta_buckets,
+    format_slo,
+    histogram_quantile,
+    merged_buckets,
+    slo_summary,
+)
+from repro.obs.timeseries import (
+    TimeSample,
+    TimeSeriesSampler,
+    install_sampler,
+)
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
@@ -59,24 +88,41 @@ __all__ = [
     "Event",
     "EventLog",
     "Gauge",
+    "HealthConfig",
+    "HealthEngine",
+    "HealthFinding",
     "Histogram",
     "Instrumentation",
     "JsonlEventWriter",
     "MetricsRegistry",
     "NULL",
     "NullInstrumentation",
+    "ObsHTTPServer",
     "ProvenanceLedger",
     "Span",
+    "TimeSample",
+    "TimeSeriesSampler",
     "Tracer",
+    "delta_buckets",
+    "diff_benchmarks",
+    "diff_files",
     "disable",
     "enable",
     "explain_measurement",
     "follow_jsonl",
+    "format_diff",
+    "format_findings",
     "format_slo",
     "get_default",
+    "histogram_quantile",
+    "install_sampler",
     "introspect",
+    "live_view",
+    "merged_buckets",
     "read_events",
     "render_text",
+    "render_top",
     "set_default",
     "slo_summary",
+    "sparkline",
 ]

@@ -1,0 +1,245 @@
+"""Regression diffing for committed ``BENCH_*.json`` artifacts.
+
+The benchmarks emit machine-comparable JSON (``BENCH_scheduler.json``
+etc.) whose virtual-clock metrics are deterministic across machines —
+but until now nothing compared them.  :func:`diff_benchmarks` walks a
+baseline and a candidate document, classifies every numeric leaf by
+key-name pattern (higher-better / lower-better / boolean gate /
+machine-dependent wall clock), and reports regressions beyond a
+configurable threshold.  ``repro benchdiff`` wraps it with non-zero
+exit on gated regressions, and CI diffs freshly generated artifacts
+against the committed ones.
+
+Classification is conservative: wall-clock keys (``*_ms``,
+``wall_seconds``, ``ops_per_second`` …) are *never* gated — they vary
+across machines — and unknown keys are reported informationally
+rather than failing the build.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default regression threshold, percent.
+DEFAULT_THRESHOLD_PCT = 20.0
+
+#: Ordered classification rules (first match wins) applied to the
+#: lower-cased dotted key path of each numeric/boolean leaf.
+#:   wall    — machine-dependent, reported but never gated
+#:   boolean — True→False is a regression regardless of threshold
+#:   higher  — higher is better
+#:   lower   — lower is better
+#:   info    — known-neutral (counts, configs)
+_CLASSIFIERS: Tuple[Tuple[str, str], ...] = (
+    (
+        r"wall|_ms$|(^|[._])ops_per_second|(^|[._])(un)?cached_seconds$"
+        r"|speedup_wall|per_second$|per_day",
+        "wall",
+    ),
+    (r"identical|identity|(^|[._])ok$", "boolean"),
+    (r"speedup", "higher"),
+    (r"throughput|per_virtual_second", "higher"),
+    (
+        r"completeness_score|hit_rate|(^|[._])complete(d)?$"
+        r"|revealed|successes",
+        "higher",
+    ),
+    (
+        r"overhead_pct|virtual_seconds$|(^|[._])dropped"
+        r"|deadline_overruns|events_dropped",
+        "lower",
+    ),
+)
+
+_COMPILED = tuple(
+    (re.compile(pattern), direction) for pattern, direction in _CLASSIFIERS
+)
+
+
+def classify_key(path: str) -> str:
+    """Direction class for one dotted key path."""
+    lowered = path.lower()
+    for pattern, direction in _COMPILED:
+        if pattern.search(lowered):
+            return direction
+    return "info"
+
+
+def _leaves(doc: Any, prefix: str = "") -> Dict[str, Any]:
+    """Flatten a JSON document to ``{dotted.path: scalar}``."""
+    out: Dict[str, Any] = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(_leaves(value, path))
+    elif isinstance(doc, list):
+        for index, value in enumerate(doc):
+            out.update(_leaves(value, f"{prefix}[{index}]"))
+    elif isinstance(doc, bool) or isinstance(doc, (int, float)):
+        out[prefix] = doc
+    return out
+
+
+def diff_benchmarks(
+    base: Dict[str, Any],
+    candidate: Dict[str, Any],
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+) -> Dict[str, Any]:
+    """Compare two benchmark documents.
+
+    Returns ``{regressions, improvements, changed, missing, added,
+    ok}``; *ok* is False iff a gated leaf regressed beyond
+    *threshold_pct* (or a boolean gate flipped to False).
+    """
+    base_leaves = _leaves(base)
+    cand_leaves = _leaves(candidate)
+    regressions: List[Dict[str, Any]] = []
+    improvements: List[Dict[str, Any]] = []
+    changed: List[Dict[str, Any]] = []
+    for path in sorted(base_leaves):
+        if path not in cand_leaves:
+            continue
+        old = base_leaves[path]
+        new = cand_leaves[path]
+        direction = classify_key(path)
+        if isinstance(old, bool) or isinstance(new, bool) or direction == "boolean":
+            if bool(old) == bool(new):
+                continue
+            entry = {
+                "key": path,
+                "base": old,
+                "candidate": new,
+                "direction": "boolean",
+                "change_pct": None,
+            }
+            if bool(old) and not bool(new):
+                regressions.append(entry)
+            else:
+                improvements.append(entry)
+            continue
+        if old == new:
+            continue
+        if old:
+            change_pct = (new - old) / abs(old) * 100.0
+        else:
+            change_pct = None
+        entry = {
+            "key": path,
+            "base": old,
+            "candidate": new,
+            "direction": direction,
+            "change_pct": change_pct,
+        }
+        if direction in ("wall", "info"):
+            changed.append(entry)
+            continue
+        worse = new < old if direction == "higher" else new > old
+        if not worse:
+            improvements.append(entry)
+            continue
+        if change_pct is None:
+            # lower-better leaf leaving zero (e.g. dropped 0 -> n) is a
+            # regression with no sensible percentage; gate it outright.
+            gated = direction == "lower"
+        else:
+            gated = abs(change_pct) >= threshold_pct
+        if gated:
+            regressions.append(entry)
+        else:
+            changed.append(entry)
+    missing = sorted(set(base_leaves) - set(cand_leaves))
+    added = sorted(set(cand_leaves) - set(base_leaves))
+    return {
+        "threshold_pct": threshold_pct,
+        "regressions": regressions,
+        "improvements": improvements,
+        "changed": changed,
+        "missing": missing,
+        "added": added,
+        "ok": not regressions,
+    }
+
+
+def diff_files(
+    base_path: str,
+    candidate_paths: Sequence[str],
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+) -> Dict[str, Any]:
+    """Diff one baseline file against one or more candidates."""
+    with open(base_path) as handle:
+        base = json.load(handle)
+    comparisons: List[Dict[str, Any]] = []
+    ok = True
+    for candidate_path in candidate_paths:
+        with open(candidate_path) as handle:
+            candidate = json.load(handle)
+        result = diff_benchmarks(base, candidate, threshold_pct)
+        result["base_path"] = base_path
+        result["candidate_path"] = candidate_path
+        ok = ok and result["ok"]
+        comparisons.append(result)
+    return {
+        "threshold_pct": threshold_pct,
+        "comparisons": comparisons,
+        "ok": ok,
+    }
+
+
+def _format_entry(entry: Dict[str, Any]) -> str:
+    pct = entry.get("change_pct")
+    pct_text = f"{pct:+.1f}%" if pct is not None else "n/a"
+    return "  {key:<52s} {base} -> {candidate}  ({pct}, {direction})".format(
+        key=entry["key"],
+        base=entry["base"],
+        candidate=entry["candidate"],
+        pct=pct_text,
+        direction=entry["direction"],
+    )
+
+
+def format_diff(report: Dict[str, Any], verbose: bool = False) -> str:
+    """Human-readable report for one :func:`diff_files` result."""
+    lines: List[str] = []
+    for comparison in report["comparisons"]:
+        lines.append(
+            "== benchdiff: {base} vs {candidate} ==".format(
+                base=comparison["base_path"],
+                candidate=comparison["candidate_path"],
+            )
+        )
+        regressions = comparison["regressions"]
+        if regressions:
+            lines.append(
+                "REGRESSIONS (beyond {t:.0f}%):".format(
+                    t=comparison["threshold_pct"]
+                )
+            )
+            lines.extend(_format_entry(e) for e in regressions)
+        else:
+            lines.append(
+                "no regressions beyond {t:.0f}%".format(
+                    t=comparison["threshold_pct"]
+                )
+            )
+        if comparison["improvements"]:
+            lines.append("improvements:")
+            lines.extend(
+                _format_entry(e) for e in comparison["improvements"]
+            )
+        if verbose and comparison["changed"]:
+            lines.append("other changes (not gated):")
+            lines.extend(_format_entry(e) for e in comparison["changed"])
+        elif comparison["changed"]:
+            lines.append(
+                "({n} ungated changes — wall-clock/informational; "
+                "--verbose to list)".format(n=len(comparison["changed"]))
+            )
+        if comparison["missing"]:
+            lines.append(
+                "missing in candidate: " + ", ".join(comparison["missing"][:8])
+                + (" …" if len(comparison["missing"]) > 8 else "")
+            )
+    lines.append("overall: " + ("OK" if report["ok"] else "REGRESSED"))
+    return "\n".join(lines)

@@ -110,6 +110,32 @@ DECLARED_METRICS: Dict[str, Tuple[str, str, Optional[Sequence[float]]]] = {
         "Vantage points quarantined after consecutive non-responses.",
         None,
     ),
+    "vp_recoveries_total": (
+        "counter",
+        "Quarantined vantage points requalified after probation.",
+        None,
+    ),
+    "vp_replacements_total": (
+        "counter",
+        "Quarantined vantage points substituted in spoofed batches.",
+        None,
+    ),
+    "vp_quarantined_current": (
+        "gauge",
+        "Vantage points currently inside a quarantine window.",
+        None,
+    ),
+    "atlas_age_seconds": (
+        "gauge",
+        "Age of the source's atlas traceroutes on the sim clock, "
+        "by stat (oldest/mean).",
+        None,
+    ),
+    "atlas_traceroutes_current": (
+        "gauge",
+        "Traceroutes currently held by the source's atlas.",
+        None,
+    ),
     "service_partial_results_total": (
         "counter",
         "Requests finishing with a partial (degraded) reverse path.",
@@ -245,6 +271,9 @@ class NullInstrumentation:
     registry: Optional[MetricsRegistry] = None
     tracer: Optional[Tracer] = None
     events = None
+    # Time-series sampler (repro.obs.timeseries); hook points guard
+    # with ``obs.sampler is not None`` so both facades carry the slot.
+    sampler = None
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
@@ -325,6 +354,9 @@ class Instrumentation:
             self.events = EventLog(capacity=event_capacity, clock=clock)
         else:
             self.events = None
+        # Installed by repro.obs.timeseries.install_sampler; scheduler/
+        # service completion hooks tick it via ``maybe_sample``.
+        self.sampler = None
         # Hot-path cache: (name, *label items) -> child series.  Call
         # sites pass labels as keyword literals, so per-site ordering
         # is stable and no sorting is needed on the fast path (the
@@ -396,10 +428,24 @@ class Instrumentation:
                 )
         return out
 
+    @staticmethod
+    def _pull(source) -> Dict[Any, float]:
+        # Sources iterate plain tally dicts that a workload thread may
+        # be inserting into when a live view samples concurrently; a
+        # resize mid-iteration raises RuntimeError.  Retrying re-reads
+        # the (slightly newer) tallies — counters are monotone, so any
+        # consistent read is valid.
+        for _ in range(3):
+            try:
+                return dict(source().items())
+            except RuntimeError:
+                continue
+        return {}
+
     def _collect(self) -> None:
         totals: Dict[Any, float] = {}
         for source in list(self._collect_sources):
-            for (name, label_items), value in source().items():
+            for (name, label_items), value in self._pull(source).items():
                 # Canonicalise label order so sources spelling the same
                 # series differently still sum into one total.
                 key = (name, tuple(sorted(label_items)))
@@ -409,7 +455,7 @@ class Instrumentation:
                 **dict(label_items)
             ).set_total(value)
         for source in list(self._gauge_sources):
-            for (name, label_items), value in source().items():
+            for (name, label_items), value in self._pull(source).items():
                 self.registry.gauge(name).labels(
                     **dict(label_items)
                 ).set(value)

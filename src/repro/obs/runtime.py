@@ -92,6 +92,9 @@ def introspect(
     events = getattr(obs, "events", None)
     if events is not None:
         out["events"] = events.summary()
+    sampler = getattr(obs, "sampler", None)
+    if sampler is not None:
+        out["timeseries"] = sampler.summary()
     if probe_counters:
         out["probe_counters"] = {
             name: counter.snapshot()

@@ -41,15 +41,82 @@ def merged_buckets(
 ) -> List[Tuple[float, float]]:
     """Sum cumulative buckets across a family's label children.
 
-    All children of one family share a bucket grid, so summing the
-    cumulative counts per edge yields the family-wide distribution.
+    Children of a live family share one bucket grid, so the merge is a
+    per-edge sum.  Snapshots loaded back from disk (or from older
+    schema versions) may carry *mismatched* grids between children;
+    summing cumulative counts edge-by-edge would then undercount
+    coarse-grid children at fine-grid edges and break monotonicity.
+    Instead each child is treated as the step function it is: its
+    cumulative value at a union edge is the count at the greatest child
+    edge ≤ that union edge (0 before the first), which is exact for
+    edges the child has and conservative (step-held) in between.
     """
-    totals: Dict[float, float] = {}
+    per_series: List[List[Tuple[float, float]]] = []
+    edges: set = set()
     for series in family.get("series", []):
-        for le, cumulative in series.get("buckets", []):
-            edge = _edge(le)
-            totals[edge] = totals.get(edge, 0.0) + cumulative
-    return sorted(totals.items())
+        buckets = sorted(
+            (_edge(le), cumulative)
+            for le, cumulative in series.get("buckets", [])
+        )
+        if buckets:
+            per_series.append(buckets)
+            edges.update(edge for edge, _ in buckets)
+    if not per_series:
+        return []
+    union = sorted(edges)
+    grids_match = all(
+        [edge for edge, _ in buckets] == union for buckets in per_series
+    )
+    if grids_match:
+        totals = [0.0] * len(union)
+        for buckets in per_series:
+            for i, (_, cumulative) in enumerate(buckets):
+                totals[i] += cumulative
+        return list(zip(union, totals))
+    merged: List[Tuple[float, float]] = []
+    positions = [0] * len(per_series)
+    held = [0.0] * len(per_series)
+    for edge in union:
+        total = 0.0
+        for i, buckets in enumerate(per_series):
+            while (
+                positions[i] < len(buckets)
+                and buckets[positions[i]][0] <= edge
+            ):
+                held[i] = buckets[positions[i]][1]
+                positions[i] += 1
+            total += held[i]
+        merged.append((edge, total))
+    return merged
+
+
+def delta_buckets(
+    newer: Sequence[Tuple[float, float]],
+    older: Sequence[Tuple[float, float]],
+) -> List[Tuple[float, float]]:
+    """Windowed histogram: newer-minus-older cumulative buckets.
+
+    Both operands are cumulative ``(edge, count)`` lists as returned by
+    :func:`merged_buckets`.  The older distribution is aligned to the
+    newer grid as a step function (counts carry forward between its
+    edges), and per-edge differences are clamped at zero so a reset
+    never yields a negative bucket.
+    """
+    if not older:
+        return list(newer)
+    older_sorted = sorted(older)
+    out: List[Tuple[float, float]] = []
+    position = 0
+    held = 0.0
+    for edge, cumulative in sorted(newer):
+        while (
+            position < len(older_sorted)
+            and older_sorted[position][0] <= edge
+        ):
+            held = older_sorted[position][1]
+            position += 1
+        out.append((edge, max(0.0, cumulative - held)))
+    return out
 
 
 def histogram_quantile(
@@ -57,28 +124,39 @@ def histogram_quantile(
 ) -> Optional[float]:
     """``histogram_quantile``-style estimate from cumulative buckets.
 
-    Returns None for an empty histogram.  Quantiles landing in the
-    +Inf bucket report the highest finite edge (the estimator cannot
-    see past it).
+    Returns None for an empty histogram, and None when every
+    observation sits in a lone ``+Inf`` bucket with no finite edge
+    below it (there is no finite value the estimate could report).
+    Quantiles landing in the +Inf bucket otherwise report the highest
+    finite edge (the estimator cannot see past it).  ``q <= 0`` reports
+    the lower boundary of the first non-empty bucket rather than the
+    first grid edge, so empty leading buckets don't skew the minimum.
     """
     if not buckets:
         return None
+    buckets = sorted(buckets)
     total = buckets[-1][1]
     if total <= 0:
         return None
     rank = q * total
-    previous_edge = 0.0
+    previous_edge: Optional[float] = None
     previous_cumulative = 0.0
     for edge, cumulative in buckets:
-        if cumulative >= rank:
+        in_bucket = cumulative - previous_cumulative
+        if cumulative >= rank and in_bucket > 0:
             if edge == float("inf"):
+                # All remaining mass is beyond the last finite edge; a
+                # grid with *only* +Inf has nothing finite to report.
                 return previous_edge
-            in_bucket = cumulative - previous_cumulative
-            if in_bucket <= 0:
-                return edge
+            lower = previous_edge if previous_edge is not None else 0.0
+            if rank <= previous_cumulative:
+                # q <= 0 (or an exact landing on the bucket's lower
+                # boundary): the quantile is the boundary itself.
+                return lower
             fraction = (rank - previous_cumulative) / in_bucket
-            return previous_edge + fraction * (edge - previous_edge)
-        previous_edge = edge
+            return lower + fraction * (edge - lower)
+        if edge != float("inf"):
+            previous_edge = edge
         previous_cumulative = cumulative
     return previous_edge
 

@@ -245,6 +245,11 @@ class RevtrService:
             requested_at=self.prober.clock.now(),
             label=label,
         )
+        # Direct (non-scheduled) requests also heartbeat the telemetry
+        # time-series; cheap clock-read guard when no sampler exists.
+        sampler = self.obs.sampler
+        if sampler is not None:
+            sampler.maybe_sample()
 
     def request(
         self, request: MeasurementRequest
@@ -307,11 +312,19 @@ class RevtrService:
     # Introspection
     # ------------------------------------------------------------------
 
-    def metrics_snapshot(self, include_traces: bool = False) -> Dict:
+    def metrics_snapshot(
+        self,
+        include_traces: bool = False,
+        include_health: bool = False,
+    ) -> Dict:
         """The operator view: metrics, probe counters, cache stats.
 
         JSON-serializable; non-empty (probe counters at minimum) even
-        when the service runs on the null instrumentation.
+        when the service runs on the null instrumentation.  With a
+        time-series sampler installed the document also carries the
+        sampler summary (via :func:`introspect`), and
+        ``include_health=True`` adds the health engine's findings over
+        the retained series.
         """
         caches = {
             f"engine[{source}]": engine.cache
@@ -319,10 +332,23 @@ class RevtrService:
         }
         for source, segcache in self._segcaches.items():
             caches[f"segments[{source}]"] = segcache
-        return introspect(
+        out = introspect(
             instrumentation=self.obs,
             probe_counters={"prober": self.prober.counter},
             caches=caches,
             forwarding=self.prober.internet.forwarding_cache_stats(),
             include_traces=include_traces,
         )
+        sampler = getattr(self.obs, "sampler", None)
+        if include_health and sampler is not None:
+            from repro.obs.health import HealthEngine
+
+            engine = HealthEngine()
+            findings = engine.evaluate(
+                sampler, getattr(self.obs, "events", None)
+            )
+            out["health"] = {
+                "status": HealthEngine.status(findings),
+                "findings": [f.to_dict() for f in findings],
+            }
+        return out

@@ -297,6 +297,14 @@ class RequestScheduler:
         depth = sum(len(q) for q in self._queues.values())
         self.obs.set_gauge("service_queue_depth", depth)
 
+    def _tick_sampler(self) -> None:
+        # Completion is the scheduler's natural heartbeat: tick the
+        # telemetry time-series here, off the measurement hot path.
+        # The not-due cost is one clock read plus a compare.
+        sampler = self.obs.sampler
+        if sampler is not None:
+            sampler.maybe_sample()
+
     def _any_queued(self) -> bool:
         return any(self._queues.values())
 
@@ -466,6 +474,7 @@ class RequestScheduler:
         result: ReverseTracerouteResult,
     ) -> Job:
         """Finish-side bookkeeping for a job started at instant *t*."""
+        self._tick_sampler()
         cfg = self.config
         job.result = result
         finish = t + result.duration
@@ -756,6 +765,7 @@ class RequestScheduler:
             return
         job.result = result
         job.finished_at = self.clock.now()
+        self._tick_sampler()
         if (
             result.status is RevtrStatus.UNRESPONSIVE
             and job.attempts < cfg.max_retries

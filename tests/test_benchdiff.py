@@ -1,0 +1,194 @@
+"""Tests for benchmark regression diffing (repro.obs.benchdiff)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.benchdiff import (
+    classify_key,
+    diff_benchmarks,
+    diff_files,
+    format_diff,
+)
+
+
+class TestClassifier:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("sweep[0].makespan_virtual_seconds", "lower"),
+            ("saturation.throughput_per_virtual_second", "higher"),
+            ("scheduling_speedup", "higher"),
+            ("cache.hit_rate", "higher"),
+            ("events.events_dropped", "lower"),
+            ("event_overhead_pct", "lower"),
+            ("deadline_overruns", "lower"),
+            ("baseline_ms", "wall"),
+            ("wall_seconds", "wall"),
+            ("timing.ops_per_second", "wall"),
+            ("speedup_wall", "wall"),
+            ("requests.per_day", "wall"),
+            ("outputs_identical", "boolean"),
+            ("gate.ok", "boolean"),
+            ("sweep[1].parallelism", "info"),
+            ("seed", "info"),
+        ],
+    )
+    def test_direction(self, path, expected):
+        assert classify_key(path) == expected
+
+
+class TestDiffEngine:
+    def test_self_diff_is_ok(self):
+        doc = {"a": {"virtual_seconds": 10.0, "ok": True}, "n": 3}
+        report = diff_benchmarks(doc, doc)
+        assert report["ok"] is True
+        assert report["regressions"] == []
+        assert report["changed"] == []
+
+    def test_lower_better_regression_gated_by_threshold(self):
+        base = {"makespan_virtual_seconds": 100.0}
+        worse = {"makespan_virtual_seconds": 130.0}
+        slightly = {"makespan_virtual_seconds": 110.0}
+        assert diff_benchmarks(base, worse, 20.0)["ok"] is False
+        report = diff_benchmarks(base, slightly, 20.0)
+        assert report["ok"] is True
+        # Below threshold still surfaces as an ungated change.
+        assert report["changed"][0]["change_pct"] == pytest.approx(10.0)
+
+    def test_higher_better_direction(self):
+        base = {"throughput_per_virtual_second": 2.0}
+        faster = {"throughput_per_virtual_second": 3.0}
+        slower = {"throughput_per_virtual_second": 1.0}
+        assert diff_benchmarks(base, faster)["ok"] is True
+        assert diff_benchmarks(base, faster)["improvements"]
+        assert diff_benchmarks(base, slower)["ok"] is False
+
+    def test_wall_clock_never_gated(self):
+        base = {"baseline_ms": 10.0, "timing": {"wall_seconds": 1.0}}
+        much_worse = {"baseline_ms": 100.0, "timing": {"wall_seconds": 9.0}}
+        report = diff_benchmarks(base, much_worse)
+        assert report["ok"] is True
+        assert len(report["changed"]) == 2
+
+    def test_boolean_gate_flips(self):
+        assert diff_benchmarks({"ok": True}, {"ok": False})["ok"] is False
+        report = diff_benchmarks({"ok": False}, {"ok": True})
+        assert report["ok"] is True
+        assert report["improvements"]
+
+    def test_zero_base_on_lower_better_gated_outright(self):
+        report = diff_benchmarks(
+            {"events_dropped": 0}, {"events_dropped": 5}
+        )
+        assert report["ok"] is False
+        assert report["regressions"][0]["change_pct"] is None
+
+    def test_missing_and_added_keys_reported_not_gated(self):
+        report = diff_benchmarks(
+            {"a": 1, "virtual_seconds": 5.0}, {"b": 2, "virtual_seconds": 5.0}
+        )
+        assert report["missing"] == ["a"]
+        assert report["added"] == ["b"]
+        assert report["ok"] is True
+
+    def test_nested_lists_flattened_with_indices(self):
+        base = {"sweep": [{"makespan_virtual_seconds": 10.0}]}
+        cand = {"sweep": [{"makespan_virtual_seconds": 20.0}]}
+        report = diff_benchmarks(base, cand)
+        assert (
+            report["regressions"][0]["key"]
+            == "sweep[0].makespan_virtual_seconds"
+        )
+
+
+class TestFilesAndFormat:
+    def test_diff_files_multi_candidate(self, tmp_path):
+        base = tmp_path / "base.json"
+        good = tmp_path / "good.json"
+        bad = tmp_path / "bad.json"
+        base.write_text(json.dumps({"virtual_seconds": 10.0}))
+        good.write_text(json.dumps({"virtual_seconds": 10.0}))
+        bad.write_text(json.dumps({"virtual_seconds": 20.0}))
+        report = diff_files(str(base), [str(good), str(bad)])
+        assert report["ok"] is False
+        assert [c["ok"] for c in report["comparisons"]] == [True, False]
+        text = format_diff(report, verbose=True)
+        assert "REGRESSED" in text
+        assert "virtual_seconds" in text
+
+    def test_format_mentions_threshold(self):
+        doc = {"virtual_seconds": 10.0}
+        inner = diff_benchmarks(doc, doc)
+        inner["base_path"] = "a"
+        inner["candidate_path"] = "b"
+        text = format_diff(
+            {"comparisons": [inner], "ok": True}
+        )
+        assert "no regressions beyond 20%" in text
+        assert text.endswith("overall: OK")
+
+
+class TestCLI:
+    def _write(self, path, doc):
+        path.write_text(json.dumps(doc, indent=2))
+        return str(path)
+
+    def test_self_diff_exits_zero(self, tmp_path, capsys):
+        base = self._write(
+            tmp_path / "base.json", {"virtual_seconds": 10.0}
+        )
+        assert main(["benchdiff", base, base]) == 0
+        assert "overall: OK" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        base = self._write(
+            tmp_path / "base.json",
+            {"sweep": [{"makespan_virtual_seconds": 100.0}]},
+        )
+        cand = self._write(
+            tmp_path / "cand.json",
+            {"sweep": [{"makespan_virtual_seconds": 130.0}]},
+        )
+        assert main(["benchdiff", base, cand]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSIONS" in out
+        # Loosening the threshold ungates the same diff.
+        assert main(["benchdiff", base, cand, "--threshold", "50"]) == 0
+
+    def test_json_output_and_report_file(self, tmp_path, capsys):
+        base = self._write(
+            tmp_path / "base.json", {"virtual_seconds": 10.0}
+        )
+        cand = self._write(
+            tmp_path / "cand.json", {"virtual_seconds": 30.0}
+        )
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "benchdiff", base, cand,
+                "--json", "--report-out", str(report_path),
+            ]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        saved = json.loads(report_path.read_text())
+        assert saved["ok"] is False
+        # --report-only records without failing the build.
+        assert main(["benchdiff", base, cand, "--report-only"]) == 0
+
+    def test_unreadable_input_exits_two(self, tmp_path, capsys):
+        base = self._write(
+            tmp_path / "base.json", {"virtual_seconds": 10.0}
+        )
+        assert main(["benchdiff", base, str(tmp_path / "nope.json")]) == 2
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text("{not json")
+        assert main(["benchdiff", base, str(garbled)]) == 2
+
+    def test_committed_artifact_self_diff(self, capsys):
+        # The shipped artifacts must always self-diff clean.
+        path = "benchmarks/reports/BENCH_scheduler.json"
+        assert main(["benchdiff", path, path]) == 0

@@ -496,3 +496,119 @@ class TestFollowJsonl:
         path.write_text('{"seq": 3, "kind": "d"}\n')
         assert self._take(follower, 1)[0]["seq"] == 3
         follower.close()
+
+
+class TestQuantileEdgeCases:
+    """Edge cases in the slo.py quantile/bucket math."""
+
+    def _q(self, buckets, q):
+        from repro.obs.slo import histogram_quantile
+
+        return histogram_quantile(buckets, q)
+
+    def test_empty_histogram_is_none(self):
+        assert self._q([], 0.5) is None
+        # All-zero buckets: nothing was observed.
+        assert self._q([(1.0, 0.0), (float("inf"), 0.0)], 0.5) is None
+
+    def test_inf_only_bucket_is_none(self):
+        # Every observation in a lone +Inf bucket: no finite estimate.
+        assert self._q([(float("inf"), 7.0)], 0.5) is None
+        # Finite edges exist but are empty; mass only above them.
+        assert self._q(
+            [(1.0, 0.0), (float("inf"), 7.0)], 0.5
+        ) == 1.0  # highest finite edge
+
+    def test_quantile_at_exact_bucket_edge(self):
+        buckets = [(1.0, 4.0), (2.0, 8.0), (float("inf"), 8.0)]
+        # Rank 4 of 8 falls exactly on the le=1.0 boundary.
+        assert self._q(buckets, 0.5) == pytest.approx(1.0)
+        # Just past the boundary interpolates into the next bucket.
+        assert self._q(buckets, 0.51) == pytest.approx(1.02)
+        assert self._q(buckets, 1.0) == pytest.approx(2.0)
+
+    def test_q_zero_reports_first_nonempty_lower_bound(self):
+        buckets = [(1.0, 0.0), (2.0, 5.0), (float("inf"), 5.0)]
+        # Empty leading bucket: minimum estimate starts at its edge,
+        # not at zero.
+        assert self._q(buckets, 0.0) == pytest.approx(1.0)
+        # Without a leading empty bucket, the lower bound is 0.
+        assert self._q(
+            [(2.0, 5.0), (float("inf"), 5.0)], 0.0
+        ) == pytest.approx(0.0)
+
+    def test_interpolation_within_bucket(self):
+        buckets = [(1.0, 0.0), (3.0, 10.0), (float("inf"), 10.0)]
+        assert self._q(buckets, 0.5) == pytest.approx(2.0)
+        assert self._q(buckets, 0.25) == pytest.approx(1.5)
+
+    def test_unsorted_input_tolerated(self):
+        buckets = [(float("inf"), 8.0), (1.0, 4.0), (2.0, 8.0)]
+        assert self._q(buckets, 0.5) == pytest.approx(1.0)
+
+    def test_merged_buckets_matching_grids(self):
+        from repro.obs.slo import merged_buckets
+
+        family = {
+            "type": "histogram",
+            "series": [
+                {
+                    "labels": {"k": "a"},
+                    "buckets": [[1.0, 2.0], ["+Inf", 3.0]],
+                },
+                {
+                    "labels": {"k": "b"},
+                    "buckets": [[1.0, 1.0], ["+Inf", 4.0]],
+                },
+            ],
+        }
+        assert merged_buckets(family) == [
+            (1.0, 3.0),
+            (float("inf"), 7.0),
+        ]
+
+    def test_merged_buckets_mismatched_grids_step_aligned(self):
+        from repro.obs.slo import merged_buckets
+
+        # Children with different grids (as loaded from an old
+        # snapshot): each child is a step function; its value at a
+        # union edge is held from its greatest edge <= that edge.
+        family = {
+            "type": "histogram",
+            "series": [
+                {
+                    "labels": {"k": "fine"},
+                    "buckets": [[1.0, 1.0], [2.0, 3.0], ["+Inf", 3.0]],
+                },
+                {
+                    "labels": {"k": "coarse"},
+                    "buckets": [[2.0, 4.0], ["+Inf", 6.0]],
+                },
+            ],
+        }
+        merged = merged_buckets(family)
+        assert merged == [
+            (1.0, 1.0),  # coarse child holds 0 below its first edge
+            (2.0, 7.0),
+            (float("inf"), 9.0),
+        ]
+        # Monotone non-decreasing despite the grid mismatch.
+        counts = [count for _, count in merged]
+        assert counts == sorted(counts)
+
+    def test_delta_buckets_alignment_and_clamp(self):
+        from repro.obs.slo import delta_buckets
+
+        newer = [(1.0, 5.0), (2.0, 9.0), (float("inf"), 12.0)]
+        older = [(2.0, 4.0), (float("inf"), 5.0)]
+        delta = dict(delta_buckets(newer, older))
+        # older holds 0 below its first edge, 4 at 2.0, 5 at +Inf.
+        assert delta[1.0] == pytest.approx(5.0)
+        assert delta[2.0] == pytest.approx(5.0)
+        assert delta[float("inf")] == pytest.approx(7.0)
+        # A reset (newer below older) clamps at zero.
+        assert dict(
+            delta_buckets([(1.0, 1.0)], [(1.0, 6.0)])
+        )[1.0] == 0.0
+        # Empty older is the identity.
+        assert delta_buckets(newer, []) == newer
